@@ -1,0 +1,276 @@
+(* dsp — command-line front end for the Demand Strip Packing library.
+
+   Subcommands: generate, solve, compare, exact, gap, transform,
+   smartgrid.  Instances travel as the plain-text format of
+   {!Dsp_instance.Io}. *)
+
+open Cmdliner
+open Dsp_core
+
+let read_instance path =
+  let text =
+    if path = "-" then In_channel.input_all In_channel.stdin
+    else Dsp_instance.Io.read_file path
+  in
+  match Dsp_instance.Io.instance_of_string text with
+  | Ok inst -> inst
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+
+let algorithms =
+  [
+    ("bfd", fun i -> Dsp_algo.Baselines.best_fit_decreasing i);
+    ("ff-doubling", Dsp_algo.Baselines.first_fit_doubling);
+    ("steinberg", Dsp_algo.Baselines.steinberg2);
+    ("approx53", Dsp_algo.Approx53.solve);
+    ("approx54", fun i -> Dsp_algo.Approx54.solve i);
+  ]
+
+let algo_conv =
+  let parse s =
+    match List.assoc_opt s algorithms with
+    | Some f -> Ok (s, f)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown algorithm %S (expected %s)" s
+               (String.concat "|" (List.map fst algorithms))))
+  in
+  Arg.conv (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
+
+(* generate *)
+
+let generate_cmd =
+  let run kind n width seed =
+    let rng = Dsp_util.Rng.create seed in
+    let inst =
+      match kind with
+      | "uniform" ->
+          Dsp_instance.Generators.uniform rng ~n ~width ~max_w:(max 1 (width / 2))
+            ~max_h:20
+      | "correlated" ->
+          Dsp_instance.Generators.correlated rng ~n ~width
+            ~max_w:(max 1 (width / 2)) ~max_h:20
+      | "tallflat" ->
+          Dsp_instance.Generators.tall_and_flat rng ~n ~width ~max_h:20
+      | "perfect" ->
+          Dsp_instance.Generators.perfect_fit rng ~width ~height:20 ~cuts:n
+      | "smartgrid" ->
+          Dsp_smartgrid.Smartgrid.to_instance
+            (Dsp_smartgrid.Smartgrid.simulate_day rng ~households:(max 1 (n / 4)))
+      | other ->
+          Printf.eprintf "unknown kind %S\n" other;
+          exit 2
+    in
+    print_string (Dsp_instance.Io.instance_to_string inst)
+  in
+  let kind =
+    Arg.(value & opt string "uniform" & info [ "kind" ] ~doc:"uniform|correlated|tallflat|perfect|smartgrid")
+  in
+  let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"number of items") in
+  let width = Arg.(value & opt int 50 & info [ "width"; "W" ] ~doc:"strip width") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"random seed") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random DSP instance")
+    Term.(const run $ kind $ n $ width $ seed)
+
+(* solve *)
+
+let solve_cmd =
+  let run (name, algo) path show =
+    let inst = read_instance path in
+    let pk = algo inst in
+    (match Packing.validate pk with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "internal error: invalid packing: %s\n" e;
+        exit 3);
+    Printf.printf "algorithm: %s\npeak: %d\nlower bound: %d\nratio vs LB: %.3f\n"
+      name (Packing.height pk) (Instance.lower_bound inst)
+      (Packing.ratio_to pk ~lower_bound:(Instance.lower_bound inst));
+    if show then print_endline (Profile.render (Packing.profile pk))
+  in
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv ("approx54", fun i -> Dsp_algo.Approx54.solve i)
+      & info [ "algo"; "a" ] ~doc:"algorithm")
+  in
+  let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
+  let show = Arg.(value & flag & info [ "render" ] ~doc:"render the profile") in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a DSP instance with one algorithm")
+    Term.(const run $ algo $ path $ show)
+
+(* compare *)
+
+let compare_cmd =
+  let run path =
+    let inst = read_instance path in
+    let lb = Instance.lower_bound inst in
+    Printf.printf "%-14s %6s %8s\n" "algorithm" "peak" "vs LB";
+    List.iter
+      (fun (name, algo) ->
+        let pk = algo inst in
+        Printf.printf "%-14s %6d %8.3f\n" name (Packing.height pk)
+          (Packing.ratio_to pk ~lower_bound:lb))
+      algorithms
+  in
+  let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every algorithm on an instance")
+    Term.(const run $ path)
+
+(* exact *)
+
+let exact_cmd =
+  let run path nodes =
+    let inst = read_instance path in
+    match Dsp_exact.Dsp_bb.solve_with_stats ~node_limit:nodes inst with
+    | Some (pk, explored) ->
+        Printf.printf "optimal peak: %d (explored %d nodes)\n" (Packing.height pk)
+          explored
+    | None -> Printf.printf "node budget exhausted (limit %d)\n" nodes
+  in
+  let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
+  let nodes =
+    Arg.(value & opt int 20_000_000 & info [ "nodes" ] ~doc:"node budget")
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Exact branch-and-bound optimum (small instances)")
+    Term.(const run $ path $ nodes)
+
+(* gap *)
+
+let gap_cmd =
+  let run path =
+    let inst = read_instance path in
+    match
+      ( Dsp_exact.Dsp_bb.optimal_height inst,
+        Dsp_exact.Sp_exact.optimal_height inst )
+    with
+    | Some dsp, Some sp ->
+        Printf.printf "OPT_DSP=%d OPT_SP=%d gap=%.4f\n" dsp sp
+          (float_of_int sp /. float_of_int dsp)
+    | _ -> print_endline "node budget exhausted"
+  in
+  let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "gap" ~doc:"Exact sliced-vs-unsliced gap of a small instance")
+    Term.(const run $ path)
+
+(* transform *)
+
+let transform_cmd =
+  let run path machines =
+    let inst = read_instance path in
+    let pk = Dsp_algo.Approx53.solve inst in
+    let m = if machines = 0 then Packing.height pk else machines in
+    match Dsp_transform.Transform.packing_to_schedule pk ~machines:m with
+    | Ok (sched, stats) ->
+        Printf.printf
+          "packing height %d -> schedule on %d machines, makespan %d (%d events)\n"
+          (Packing.height pk) m
+          (Pts.Schedule.makespan sched)
+          stats.Dsp_transform.Transform.events;
+        print_endline (Pts.Schedule.render sched)
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2
+  in
+  let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
+  let machines =
+    Arg.(value & opt int 0 & info [ "machines"; "m" ] ~doc:"machine count (0 = packing height)")
+  in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Pack, then transform into a PTS schedule (Theorem 1)")
+    Term.(const run $ path $ machines)
+
+(* rotate *)
+
+let rotate_cmd =
+  let run path =
+    let inst = read_instance path in
+    let pk, orientations = Dsp_algo.Rotations.best_fit_rotating inst in
+    let rotated =
+      Array.to_list orientations
+      |> List.filter (fun o -> o = Dsp_algo.Rotations.Rotated)
+      |> List.length
+    in
+    let fixed = Dsp_algo.Approx54.solve inst in
+    Printf.printf
+      "fixed-orientation peak: %d\nrotating greedy peak:   %d (%d of %d items rotated)\n"
+      (Packing.height fixed) (Packing.height pk) rotated (Instance.n_items inst)
+  in
+  let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "rotate" ~doc:"Pack with 90-degree rotations allowed (paper conclusion)")
+    Term.(const run $ path)
+
+(* stats *)
+
+let stats_cmd =
+  let run path =
+    let inst = read_instance path in
+    let pk = Dsp_algo.Approx54.solve inst in
+    let target = Packing.height pk in
+    let params =
+      Dsp_algo.Classify.choose_params inst ~target ~eps:(Dsp_util.Rat.make 1 4)
+    in
+    let cls = Dsp_algo.Classify.classify inst params in
+    Printf.printf "peak: %d  delta=%s mu=%s\nclasses:\n" target
+      (Dsp_util.Rat.to_string params.Dsp_algo.Classify.delta)
+      (Dsp_util.Rat.to_string params.Dsp_algo.Classify.mu);
+    List.iter
+      (fun (name, count) -> Printf.printf "  %-16s %d\n" name count)
+      (Dsp_algo.Classify.class_sizes cls);
+    let s = Dsp_algo.Boxes.partition_stats pk params in
+    Format.printf "Lemma 4/5 partition:@.%a@." Dsp_algo.Boxes.pp_stats s
+  in
+  let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Classification and structural statistics of an instance")
+    Term.(const run $ path)
+
+(* smartgrid *)
+
+let smartgrid_cmd =
+  let run households seed =
+    let rng = Dsp_util.Rng.create seed in
+    let runs = Dsp_smartgrid.Smartgrid.simulate_day rng ~households in
+    let report =
+      Dsp_smartgrid.Smartgrid.evaluate runs ~scheduler:(fun i ->
+          Dsp_algo.Approx54.solve i)
+    in
+    Printf.printf
+      "runs: %d\nnaive peak: %d\nscheduled peak: %d\nlower bound: %d\n\
+       peak reduction: %.1f%%\nnaive cost: %d\nscheduled cost: %d\n"
+      report.Dsp_smartgrid.Smartgrid.runs report.naive_peak report.scheduled_peak
+      report.lower_bound report.reduction_percent report.naive_cost
+      report.scheduled_cost
+  in
+  let households =
+    Arg.(value & opt int 25 & info [ "households" ] ~doc:"number of households")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"random seed") in
+  Cmd.v
+    (Cmd.info "smartgrid" ~doc:"Simulate a smart-grid day and minimize its peak")
+    Term.(const run $ households $ seed)
+
+let () =
+  let doc = "Demand Strip Packing: algorithms from Jansen, Rau & Tutas (SPAA 2024)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "dsp" ~doc)
+          [
+            generate_cmd;
+            solve_cmd;
+            compare_cmd;
+            exact_cmd;
+            gap_cmd;
+            transform_cmd;
+            rotate_cmd;
+            stats_cmd;
+            smartgrid_cmd;
+          ]))

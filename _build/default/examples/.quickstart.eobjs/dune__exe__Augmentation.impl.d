@@ -1,0 +1,1 @@
+examples/augmentation.ml: Dsp_augment Dsp_core Dsp_instance Dsp_util Instance Printf Pts

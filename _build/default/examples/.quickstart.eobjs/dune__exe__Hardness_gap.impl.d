@@ -1,0 +1,1 @@
+examples/hardness_gap.ml: Array Dsp_core Dsp_exact Dsp_instance Dsp_util Instance Printf Pts String

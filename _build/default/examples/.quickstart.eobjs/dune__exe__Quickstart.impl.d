@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dsp_algo Dsp_core Dsp_exact Format Instance Packing Printf Profile Slice_layout

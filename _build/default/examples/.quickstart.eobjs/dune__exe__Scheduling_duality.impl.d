@@ -1,0 +1,1 @@
+examples/scheduling_duality.ml: Dsp_core Dsp_pts Dsp_transform Format Instance Packing Printf Pts Result Slice_layout

@@ -1,0 +1,1 @@
+examples/smart_grid_peak.ml: Dsp_algo Dsp_core Dsp_smartgrid Dsp_util List Packing Printf Profile

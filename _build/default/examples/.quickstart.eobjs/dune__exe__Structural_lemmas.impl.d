@@ -1,0 +1,1 @@
+examples/structural_lemmas.ml: Dsp_algo Dsp_core Dsp_exact Dsp_util Format Instance Item List Packing Printf Result String

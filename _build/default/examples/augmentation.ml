@@ -1,0 +1,44 @@
+(* Resource augmentation (Corollaries 2-4): optimal objectives at the
+   price of extra resource.
+
+   Run with: dune exec examples/augmentation.exe *)
+
+open Dsp_core
+module Augment = Dsp_augment.Augment
+
+let () =
+  let rng = Dsp_util.Rng.create 11 in
+
+  (* Corollary 2: an optimal-height DSP packing inside a widened
+     strip. *)
+  let inst =
+    Dsp_instance.Generators.uniform rng ~n:25 ~width:30 ~max_w:12 ~max_h:10
+  in
+  let r = Augment.dsp_with_width_augmentation inst in
+  Printf.printf
+    "Corollary 2 (DSP, width augmentation):\n\
+    \  strip width %d -> used width %d (factor %.3f), height %d (lower bound %d)\n\n"
+    inst.Instance.width r.Augment.width_used r.Augment.width_factor
+    r.Augment.height
+    (Instance.lower_bound inst);
+
+  (* Corollary 3: optimal-makespan PTS with (5/3)-augmented machines,
+     via the polynomial (5/3)-style DSP algorithm. *)
+  let pts = Dsp_instance.Generators.uniform_pts rng ~n:18 ~machines:6 ~max_p:9 in
+  let r53 = Augment.pts_53 pts in
+  Printf.printf
+    "Corollary 3 (PTS, machine augmentation, polynomial inner solver):\n\
+    \  %d machines -> %d used (factor %.3f), makespan %d (lower bound %d)\n\n"
+    pts.Pts.Inst.machines r53.Augment.machines_used r53.Augment.machine_factor
+    r53.Augment.makespan
+    (Pts.Inst.lower_bound pts);
+
+  (* Corollary 4: the pseudo-polynomial (5/4+eps) inner solver brings
+     the augmentation down. *)
+  let r54 = Augment.pts_54 pts in
+  Printf.printf
+    "Corollary 4 (PTS, machine augmentation, pseudo-polynomial inner solver):\n\
+    \  %d machines -> %d used (factor %.3f), makespan %d\n%s\n"
+    pts.Pts.Inst.machines r54.Augment.machines_used r54.Augment.machine_factor
+    r54.Augment.makespan
+    (Pts.Schedule.render r54.Augment.schedule)

@@ -1,0 +1,1 @@
+lib/augment/augment.ml: Array Dsp_algo Dsp_core Dsp_pts Dsp_sp Dsp_transform Dsp_util Fun Instance List Option Packing Pts Rect_packing

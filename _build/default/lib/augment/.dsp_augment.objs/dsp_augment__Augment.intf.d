@@ -1,0 +1,1 @@
+lib/augment/augment.mli: Dsp_core Instance Packing Pts

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Dsp_util Format Item List Printf

@@ -1,0 +1,1 @@
+lib/core/packing.ml: Array Dsp_util Format Instance Item Printf Profile

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Array Buffer Dsp_util Format Instance Item Printf String

@@ -1,0 +1,1 @@
+lib/core/pts.ml: Array Buffer Bytes Char Dsp_util Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/pts.mli: Format

@@ -1,0 +1,1 @@
+lib/core/rect_packing.ml: Array Format Instance Item Packing Printf

@@ -1,0 +1,1 @@
+lib/core/rect_packing.mli: Format Instance Packing

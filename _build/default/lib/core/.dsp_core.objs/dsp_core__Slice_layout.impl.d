@@ -1,0 +1,1 @@
+lib/core/slice_layout.ml: Array Buffer Char Instance Item List Packing Printf String

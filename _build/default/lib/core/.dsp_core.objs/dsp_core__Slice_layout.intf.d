@@ -1,0 +1,1 @@
+lib/core/slice_layout.mli: Packing

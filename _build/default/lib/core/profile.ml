@@ -1,0 +1,64 @@
+type t = { loads : int array }
+
+let create width =
+  if width < 1 then invalid_arg "Profile.create: width must be >= 1";
+  { loads = Array.make width 0 }
+
+let width t = Array.length t.loads
+
+let add t ~start ~len ~height =
+  if start < 0 || len < 0 || start + len > width t then
+    invalid_arg
+      (Printf.sprintf "Profile.add: range [%d,%d) outside strip of width %d"
+         start (start + len) (width t));
+  for x = start to start + len - 1 do
+    t.loads.(x) <- t.loads.(x) + height
+  done
+
+let add_item t (it : Item.t) ~start = add t ~start ~len:it.w ~height:it.h
+let remove_item t (it : Item.t) ~start = add t ~start ~len:it.w ~height:(-it.h)
+let load t x = t.loads.(x)
+
+let peak t = Array.fold_left max 0 t.loads
+
+let peak_in t ~start ~len =
+  if start < 0 || len < 0 || start + len > width t then
+    invalid_arg "Profile.peak_in: range outside strip";
+  let m = ref 0 in
+  for x = start to start + len - 1 do
+    if t.loads.(x) > !m then m := t.loads.(x)
+  done;
+  !m
+
+let copy t = { loads = Array.copy t.loads }
+let to_array t = Array.copy t.loads
+
+let of_starts (inst : Instance.t) starts =
+  if Array.length starts <> Instance.n_items inst then
+    invalid_arg "Profile.of_starts: starts array does not match instance";
+  let p = create inst.Instance.width in
+  Array.iteri (fun i s -> add_item p (Instance.item inst i) ~start:s) starts;
+  p
+
+let pp fmt t =
+  Format.fprintf fmt "@[profile(peak=%d): %a@]" (peak t) Dsp_util.Xutil.pp_int_list
+    (Array.to_list t.loads)
+
+let render ?(max_rows = 20) t =
+  let pk = peak t in
+  if pk = 0 then "(empty strip)"
+  else
+    let rows = min pk max_rows in
+    (* Each text row represents a band of loads of size [band]. *)
+    let band = Dsp_util.Xutil.ceil_div pk rows in
+    let buf = Buffer.create ((width t + 1) * rows) in
+    for r = rows downto 1 do
+      let threshold = (r - 1) * band in
+      for x = 0 to width t - 1 do
+        Buffer.add_char buf (if t.loads.(x) > threshold then '#' else '.')
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make (width t) '-');
+    Buffer.add_string buf (Printf.sprintf "\npeak = %d (1 row ~ %d units)" pk band);
+    Buffer.contents buf

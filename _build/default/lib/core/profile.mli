@@ -1,0 +1,45 @@
+(** Demand profiles (skylines) over the discrete strip [0, width).
+
+    A profile records, for every unit column of the strip, the total
+    height of items covering it.  It is the central object of Demand
+    Strip Packing: the objective value of a packing is exactly the peak
+    of its profile.  This implementation keeps the per-column loads in
+    a plain array with O(1) amortized range updates via a difference
+    array that is flushed lazily; for algorithms needing range-max
+    queries under updates see {!Segtree}. *)
+
+type t
+
+val create : int -> t
+(** [create width] is the all-zero profile over [0, width). *)
+
+val width : t -> int
+
+val add : t -> start:int -> len:int -> height:int -> unit
+(** Add [height] to all columns in [start, start + len); [height] may
+    be negative (removal).
+    @raise Invalid_argument if the range leaves the strip. *)
+
+val add_item : t -> Item.t -> start:int -> unit
+val remove_item : t -> Item.t -> start:int -> unit
+
+val load : t -> int -> int
+(** Load of one column. *)
+
+val peak : t -> int
+(** Maximum load over all columns; 0 for an empty strip. *)
+
+val peak_in : t -> start:int -> len:int -> int
+(** Maximum load over the window [start, start + len). *)
+
+val copy : t -> t
+val to_array : t -> int array
+
+val of_starts : Instance.t -> int array -> t
+(** Profile of the packing that starts item [i] at [starts.(i)]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val render : ?max_rows:int -> t -> string
+(** ASCII skyline, one character column per strip column, for the
+    examples and the CLI. *)

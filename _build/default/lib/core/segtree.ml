@@ -1,0 +1,72 @@
+type t = {
+  n : int;
+  size : int; (* smallest power of two >= n *)
+  tree : int array; (* max of subtree, including pending adds below *)
+  lazy_ : int array; (* pending add for the whole subtree *)
+}
+
+let create n =
+  if n < 1 then invalid_arg "Segtree.create: size must be >= 1";
+  let size = ref 1 in
+  while !size < n do
+    size := !size * 2
+  done;
+  { n; size = !size; tree = Array.make (2 * !size) 0; lazy_ = Array.make (2 * !size) 0 }
+
+let size t = t.n
+
+(* Node [v] covers columns [node_lo, node_hi). The displayed value of a
+   node is tree.(v) + sum of lazy_ on its ancestors; we keep tree.(v)
+   inclusive of the node's own lazy, which makes queries top-down
+   accumulate only strictly-above lazies. *)
+
+let rec add_rec t v node_lo node_hi lo hi value =
+  if hi <= node_lo || node_hi <= lo then ()
+  else if lo <= node_lo && node_hi <= hi then begin
+    t.tree.(v) <- t.tree.(v) + value;
+    t.lazy_.(v) <- t.lazy_.(v) + value
+  end
+  else begin
+    let mid = (node_lo + node_hi) / 2 in
+    add_rec t (2 * v) node_lo mid lo hi value;
+    add_rec t ((2 * v) + 1) mid node_hi lo hi value;
+    t.tree.(v) <- t.lazy_.(v) + max t.tree.(2 * v) t.tree.((2 * v) + 1)
+  end
+
+let range_add t ~lo ~hi value =
+  if lo < 0 || hi > t.n || lo > hi then invalid_arg "Segtree.range_add: bad range";
+  if lo < hi then add_rec t 1 0 t.size lo hi value
+
+let rec max_rec t v node_lo node_hi lo hi acc_lazy =
+  if hi <= node_lo || node_hi <= lo then min_int
+  else if lo <= node_lo && node_hi <= hi then acc_lazy + t.tree.(v)
+  else
+    let mid = (node_lo + node_hi) / 2 in
+    let acc = acc_lazy + t.lazy_.(v) in
+    max
+      (max_rec t (2 * v) node_lo mid lo hi acc)
+      (max_rec t ((2 * v) + 1) mid node_hi lo hi acc)
+
+let range_max t ~lo ~hi =
+  if lo < 0 || hi > t.n || lo > hi then invalid_arg "Segtree.range_max: bad range";
+  if lo >= hi then 0 else max_rec t 1 0 t.size lo hi 0
+
+let max_all t = range_max t ~lo:0 ~hi:t.n
+let get t i = range_max t ~lo:i ~hi:(i + 1)
+
+let of_array arr =
+  let t = create (Array.length arr) in
+  Array.iteri (fun i v -> range_add t ~lo:i ~hi:(i + 1) v) arr;
+  t
+
+let to_array t = Array.init t.n (get t)
+
+let min_peak_start t ~len ~height ~limit =
+  if len < 1 || len > t.n then None
+  else
+    let rec go s =
+      if s + len > t.n then None
+      else if range_max t ~lo:s ~hi:(s + len) + height <= limit then Some s
+      else go (s + 1)
+    in
+    go 0

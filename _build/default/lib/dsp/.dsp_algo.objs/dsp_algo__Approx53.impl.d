@@ -1,0 +1,1 @@
+lib/dsp/approx53.ml: Array Baselines Budget_fit Dsp_core Dsp_sp Dsp_util Instance Item List Option Packing Rect_packing

@@ -1,0 +1,1 @@
+lib/dsp/approx53.mli: Dsp_core Instance Packing

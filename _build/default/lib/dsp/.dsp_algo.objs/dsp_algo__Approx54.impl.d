@@ -1,0 +1,1 @@
+lib/dsp/approx54.ml: Baselines Budget_fit Classify Config_fill Dsp_core Dsp_util Instance Item List Option Packing Profile Rounding

@@ -1,0 +1,1 @@
+lib/dsp/approx54.mli: Dsp_core Dsp_util Instance Packing

@@ -1,0 +1,1 @@
+lib/dsp/baselines.ml: Array Budget_fit Dsp_core Dsp_sp Dsp_util Instance Item List Rect_packing

@@ -1,0 +1,1 @@
+lib/dsp/baselines.mli: Dsp_core Instance Packing

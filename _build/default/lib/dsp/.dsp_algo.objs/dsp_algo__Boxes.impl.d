@@ -1,0 +1,1 @@
+lib/dsp/boxes.ml: Array Classify Dsp_core Dsp_util Format Instance Item List Packing

@@ -1,0 +1,1 @@
+lib/dsp/boxes.mli: Classify Dsp_core Dsp_util Format Packing

@@ -1,0 +1,1 @@
+lib/dsp/budget_fit.ml: Array Dsp_core Instance Item List Packing Printf Profile

@@ -1,0 +1,1 @@
+lib/dsp/budget_fit.mli: Dsp_core Instance Item Packing Profile

@@ -1,0 +1,1 @@
+lib/dsp/classify.ml: Array Dsp_core Dsp_util Fun Instance Item List

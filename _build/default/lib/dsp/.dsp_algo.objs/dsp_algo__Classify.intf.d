@@ -1,0 +1,1 @@
+lib/dsp/classify.mli: Dsp_core Dsp_util Instance Item

@@ -1,0 +1,1 @@
+lib/dsp/config_fill.ml: Array Budget_fit Dsp_core Dsp_lp Dsp_util Item List

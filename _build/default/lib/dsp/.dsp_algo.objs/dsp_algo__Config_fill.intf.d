@@ -1,0 +1,1 @@
+lib/dsp/config_fill.mli: Budget_fit Dsp_core Item

@@ -1,0 +1,1 @@
+lib/dsp/restructure.ml: Array Dsp_core Dsp_util Item List Option Printf Queue

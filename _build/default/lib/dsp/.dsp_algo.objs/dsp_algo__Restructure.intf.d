@@ -1,0 +1,1 @@
+lib/dsp/restructure.mli: Dsp_core Item

@@ -1,0 +1,1 @@
+lib/dsp/rotations.ml: Array Dsp_core Dsp_exact Fun Instance Item List Packing Profile

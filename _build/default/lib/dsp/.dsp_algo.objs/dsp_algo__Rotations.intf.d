@@ -1,0 +1,1 @@
+lib/dsp/rotations.mli: Dsp_core Instance Item Packing

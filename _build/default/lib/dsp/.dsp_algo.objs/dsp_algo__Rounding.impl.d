@@ -1,0 +1,1 @@
+lib/dsp/rounding.ml: Array Classify Dsp_core Dsp_util Instance Item List Packing

@@ -1,0 +1,1 @@
+lib/dsp/rounding.mli: Classify Dsp_core Dsp_util Instance Packing

@@ -1,0 +1,1 @@
+lib/dsp/tall_assignment.ml: Dsp_core Item List Printf

@@ -1,0 +1,1 @@
+lib/dsp/tall_assignment.mli: Dsp_core Item

@@ -1,0 +1,56 @@
+open Dsp_core
+
+type order = By_height | By_area | By_width
+
+let comparator = function
+  | By_height -> Item.compare_by_height_desc
+  | By_area -> Item.compare_by_area_desc
+  | By_width -> Item.compare_by_width_desc
+
+let best_fit_decreasing ?(order = By_height) (inst : Instance.t) =
+  let st = Budget_fit.create inst in
+  let ok =
+    Budget_fit.place_all_best_fit st
+      (Array.to_list inst.Instance.items)
+      ~budget:max_int ~order:(comparator order)
+  in
+  assert ok;
+  Budget_fit.to_packing st
+
+let try_budget (inst : Instance.t) budget =
+  let st = Budget_fit.create inst in
+  let sorted =
+    Array.to_list inst.Instance.items |> List.sort Item.compare_by_height_desc
+  in
+  if List.for_all (fun it -> Budget_fit.first_fit st it ~budget) sorted then
+    Some (Budget_fit.to_packing st)
+  else None
+
+let first_fit_doubling (inst : Instance.t) =
+  let lb = Instance.lower_bound inst in
+  (* Find a working budget by doubling from the lower bound... *)
+  let rec grow b = match try_budget inst b with Some pk -> (b, pk) | None -> grow (2 * b) in
+  let hi, hi_pk = grow (max 1 lb) in
+  (* ... then binary search the smallest working budget. *)
+  let best = ref hi_pk in
+  let ok b =
+    match try_budget inst b with
+    | Some pk ->
+        best := pk;
+        true
+    | None -> false
+  in
+  ignore (Dsp_util.Xutil.binary_search_min lb hi ok);
+  !best
+
+let steinberg2 inst = Rect_packing.to_dsp (Dsp_sp.Steinberg.pack inst)
+let lpt inst = best_fit_decreasing ~order:By_width inst
+
+let all =
+  [
+    ("bfd-height", best_fit_decreasing ~order:By_height);
+    ("bfd-area", best_fit_decreasing ~order:By_area);
+    ("ff-doubling", first_fit_doubling);
+    ("steinberg2", steinberg2);
+    ("lpt-width", lpt);
+  ]

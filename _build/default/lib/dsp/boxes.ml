@@ -1,0 +1,154 @@
+open Dsp_core
+module Rat = Dsp_util.Rat
+
+
+(* Classify once and return the id sets we need. *)
+let horizontal_ids (inst : Instance.t) p =
+  let cls = Classify.classify inst p in
+  ( List.map (fun (it : Item.t) -> it.Item.id) cls.Classify.horizontal,
+    List.map (fun (it : Item.t) -> it.Item.id)
+      (cls.Classify.large @ cls.Classify.medium_vertical),
+    cls )
+
+let grid_unit (inst : Instance.t) (p : Classify.params) =
+  let w = Rat.of_int inst.Instance.width in
+  max 1 (Rat.floor Rat.(mul (mul p.Classify.eps p.Classify.delta) w))
+
+let snap_horizontal_starts (pk : Packing.t) (p : Classify.params) =
+  let inst = Packing.instance pk in
+  let horizontal, _, _ = horizontal_ids inst p in
+  let g = grid_unit inst p in
+  let starts = Packing.starts pk in
+  List.iter
+    (fun i ->
+      let it = Instance.item inst i in
+      let snapped = starts.(i) / g * g in
+      (* Snapping moves items left, so the right border stays inside
+         the strip. *)
+      starts.(i) <- max 0 (min snapped (inst.Instance.width - it.Item.w)))
+    horizontal;
+  let snapped = Packing.make inst starts in
+  let distinct =
+    List.map (fun i -> starts.(i)) horizontal |> List.sort_uniq compare
+    |> List.length
+  in
+  (snapped, distinct)
+
+type stats = {
+  horizontal_start_points : int;
+  horizontal_start_bound : int;
+  peak_before : int;
+  peak_after : int;
+  n_large_boxes : int;
+  n_horizontal_boxes : int;
+  n_tall_vertical_boxes : int;
+  tv_box_bound : int;
+}
+
+(* Greedy horizontal boxes as in the Lemma 5 proof: at the leftmost
+   start of an unassigned horizontal item, open a box as wide as the
+   widest item starting there; repeatedly add the widest unassigned
+   item fully contained in the box while the height budget
+   (eps*delta*OPT) permits; repeat. *)
+let horizontal_boxes (inst : Instance.t) (p : Classify.params) starts horizontal =
+  let budget_rat =
+    Rat.(mul (mul p.Classify.eps p.Classify.delta) (of_int p.Classify.target))
+  in
+  let budget = max 1 (Rat.ceil budget_rat) in
+  let unassigned = ref horizontal in
+  let boxes = ref [] in
+  while !unassigned <> [] do
+    (* Leftmost start among unassigned items. *)
+    let leftmost =
+      List.fold_left (fun acc i -> min acc starts.(i)) max_int !unassigned
+    in
+    let starters =
+      List.filter (fun i -> starts.(i) = leftmost) !unassigned
+    in
+    let widest =
+      List.fold_left
+        (fun acc i ->
+          let w = (Instance.item inst i).Item.w in
+          match acc with Some (bw, _) when bw >= w -> acc | _ -> Some (w, i))
+        None starters
+    in
+    match widest with
+    | None -> assert false
+    | Some (box_w, seed_item) ->
+        let box_lo = leftmost and box_hi = leftmost + box_w in
+        (* Fill: widest-first among fully contained items, within the
+           height budget (the seed always goes in). *)
+        let contained =
+          List.filter
+            (fun i ->
+              let it = Instance.item inst i in
+              starts.(i) >= box_lo && starts.(i) + it.Item.w <= box_hi)
+            !unassigned
+          |> List.sort (fun a b ->
+                 Item.compare_by_width_desc (Instance.item inst a)
+                   (Instance.item inst b))
+        in
+        let height_used = ref 0 in
+        let members = ref [] in
+        List.iter
+          (fun i ->
+            let it = Instance.item inst i in
+            if i = seed_item || !height_used + it.Item.h <= budget then begin
+              height_used := !height_used + it.Item.h;
+              members := i :: !members
+            end)
+          contained;
+        boxes := (box_lo, box_hi, !members) :: !boxes;
+        let members = !members in
+        unassigned := List.filter (fun i -> not (List.mem i members)) !unassigned
+  done;
+  List.rev !boxes
+
+let partition_stats (pk : Packing.t) (p : Classify.params) =
+  let inst = Packing.instance pk in
+  let peak_before = Packing.height pk in
+  let snapped, start_points = snap_horizontal_starts pk p in
+  let starts = Packing.starts snapped in
+  let horizontal, large_ids, _ = horizontal_ids inst p in
+  let hboxes = horizontal_boxes inst p starts horizontal in
+  (* Vertical lines at all box borders: large/medium-vertical items'
+     own borders plus the horizontal boxes' borders. *)
+  let lines =
+    List.concat_map
+      (fun i ->
+        let it = Instance.item inst i in
+        [ starts.(i); starts.(i) + it.Item.w ])
+      large_ids
+    @ List.concat_map (fun (lo, hi, _) -> [ lo; hi ]) hboxes
+    |> List.sort_uniq compare
+    |> List.filter (fun x -> x > 0 && x < inst.Instance.width)
+  in
+  let eps = p.Classify.eps and delta = p.Classify.delta in
+  let tv_bound =
+    Rat.(
+      ceil
+        (div
+           (mul (of_int 2) (add one (mul (of_int 2) eps)))
+           (mul eps (mul delta delta))))
+  in
+  let start_bound =
+    Rat.(ceil (inv (mul eps delta))) + 1
+  in
+  {
+    horizontal_start_points = start_points;
+    horizontal_start_bound = start_bound;
+    peak_before;
+    peak_after = Packing.height snapped;
+    n_large_boxes = List.length large_ids;
+    n_horizontal_boxes = List.length hboxes;
+    n_tall_vertical_boxes = List.length lines + 1;
+    tv_box_bound = tv_bound;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>horizontal starts: %d (bound %d)@,peak: %d -> %d (Lemma 4 loss)@,\
+     large boxes: %d@,horizontal boxes: %d@,tall/vertical strips: %d (bound %d)@]"
+    s.horizontal_start_points s.horizontal_start_bound s.peak_before
+    s.peak_after s.n_large_boxes s.n_horizontal_boxes s.n_tall_vertical_boxes
+    s.tv_box_bound

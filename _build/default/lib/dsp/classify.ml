@@ -1,0 +1,104 @@
+open Dsp_core
+module Rat = Dsp_util.Rat
+
+type params = { eps : Rat.t; delta : Rat.t; mu : Rat.t; target : int }
+
+type classes = {
+  large : Item.t list;
+  tall : Item.t list;
+  vertical : Item.t list;
+  medium_vertical : Item.t list;
+  horizontal : Item.t list;
+  small : Item.t list;
+  medium : Item.t list;
+}
+
+(* h > delta * target, etc.: exact rational comparisons against the
+   integer dimensions. *)
+let gt_frac value frac scale = Rat.(of_int value > mul frac (of_int scale))
+let ge_frac value frac scale = Rat.(of_int value >= mul frac (of_int scale))
+let le_frac value frac scale = Rat.(of_int value <= mul frac (of_int scale))
+let lt_frac value frac scale = Rat.(of_int value < mul frac (of_int scale))
+
+let tall_threshold eps = Rat.(add (make 1 4) eps)
+
+let category (p : params) (inst : Instance.t) (it : Item.t) =
+  let w = it.Item.w and h = it.Item.h in
+  let tgt = p.target and width = inst.Instance.width in
+  let thr = tall_threshold p.eps in
+  if ge_frac h thr tgt && lt_frac w p.delta width then `Tall
+  else if gt_frac h p.delta tgt && ge_frac w p.delta width then `Large
+  else if gt_frac h p.delta tgt && lt_frac h thr tgt && le_frac w p.mu width then
+    `Vertical
+  else if
+    ge_frac h p.eps tgt && lt_frac h thr tgt
+    && gt_frac w p.mu width && lt_frac w p.delta width
+  then `Medium_vertical
+  else if le_frac h p.mu tgt && ge_frac w p.delta width then `Horizontal
+  else if le_frac h p.mu tgt && le_frac w p.mu width then `Small
+  else `Medium
+
+let classify inst p =
+  let push cls it acc =
+    match cls with
+    | `Large -> { acc with large = it :: acc.large }
+    | `Tall -> { acc with tall = it :: acc.tall }
+    | `Vertical -> { acc with vertical = it :: acc.vertical }
+    | `Medium_vertical -> { acc with medium_vertical = it :: acc.medium_vertical }
+    | `Horizontal -> { acc with horizontal = it :: acc.horizontal }
+    | `Small -> { acc with small = it :: acc.small }
+    | `Medium -> { acc with medium = it :: acc.medium }
+  in
+  let empty =
+    {
+      large = [];
+      tall = [];
+      vertical = [];
+      medium_vertical = [];
+      horizontal = [];
+      small = [];
+      medium = [];
+    }
+  in
+  Array.fold_left
+    (fun acc it -> push (category p inst it) it acc)
+    empty inst.Instance.items
+
+let medium_area inst p =
+  let cls = classify inst p in
+  Dsp_util.Xutil.sum_by Item.area cls.medium
+  + Dsp_util.Xutil.sum_by Item.area cls.medium_vertical
+
+let choose_params ?(f = Fun.id) (inst : Instance.t) ~target ~eps =
+  let feps = f eps in
+  if Rat.(feps <= zero) || Rat.(feps >= one) then
+    invalid_arg "Classify.choose_params: f(eps) must be in (0, 1)";
+  let area_scale = inst.Instance.width * target in
+  (* f(eps) * W * target as a rational bound on the medium area. *)
+  let budget = Rat.mul feps (Rat.of_int area_scale) in
+  let max_steps =
+    min 30 (2 * Rat.ceil (Rat.inv feps))
+    (* the pigeonhole guarantees success within 2/f(eps) steps; the
+       extra cap only guards against pathological eps *)
+  in
+  let rec go delta step =
+    let mu = Rat.(mul (mul delta delta) feps) in
+    let p = { eps; delta; mu; target } in
+    if step >= max_steps then p
+    else if Rat.(of_int (medium_area inst p) <= budget) then p
+    else go mu (step + 1)
+  in
+  go feps 0
+
+let class_sizes c =
+  [
+    ("large", List.length c.large);
+    ("tall", List.length c.tall);
+    ("vertical", List.length c.vertical);
+    ("medium-vertical", List.length c.medium_vertical);
+    ("horizontal", List.length c.horizontal);
+    ("small", List.length c.small);
+    ("medium", List.length c.medium);
+  ]
+
+let total_items c = Dsp_util.Xutil.sum_by snd (class_sizes c)

@@ -1,0 +1,156 @@
+open Dsp_core
+module Rat = Dsp_util.Rat
+module Simplex = Dsp_lp.Simplex
+
+type placement = { item : Item.t; start : int }
+
+type result = {
+  placements : placement list;
+  overflow : Item.t list;
+  configurations_used : int;
+}
+
+type config = { counts : int array; total_height : int }
+
+(* Enumerate all multisets of heights with total at most [cap];
+   heights processed in order with a bound on the result count. *)
+let enumerate_configs heights cap limit =
+  let k = Array.length heights in
+  let acc = ref [] and n = ref 0 in
+  let counts = Array.make k 0 in
+  let exception Too_many in
+  let rec go i remaining =
+    if i = k then begin
+      incr n;
+      if !n > limit then raise Too_many;
+      acc := { counts = Array.copy counts; total_height = cap - remaining } :: !acc
+    end
+    else begin
+      let h = heights.(i) in
+      let maxc = remaining / h in
+      for c = maxc downto 0 do
+        counts.(i) <- c;
+        go (i + 1) (remaining - (c * h))
+      done;
+      counts.(i) <- 0
+    end
+  in
+  match go 0 cap with () -> Some !acc | exception Too_many -> None
+
+let fill ?(max_configs = 4000) ~boxes ~items () =
+  let boxes = Array.of_list boxes in
+  let items = List.filter (fun (it : Item.t) -> it.Item.h > 0) items in
+  if items = [] then
+    Some { placements = []; overflow = []; configurations_used = 0 }
+  else begin
+    let heights =
+      List.map (fun (it : Item.t) -> it.Item.h) items
+      |> List.sort_uniq compare |> List.rev |> Array.of_list
+    in
+    let k = Array.length heights in
+    let max_box_h =
+      Array.fold_left (fun acc (b : Budget_fit.free_box) -> max acc b.height) 0 boxes
+    in
+    if k > 15 || Array.length boxes = 0 || max_box_h = 0 then None
+    else begin
+      match enumerate_configs heights max_box_h max_configs with
+      | None -> None
+      | Some configs ->
+          let configs = Array.of_list configs in
+          (* Variables: (box, config) pairs where the config fits. *)
+          let vars = ref [] in
+          Array.iteri
+            (fun j (b : Budget_fit.free_box) ->
+              Array.iteri
+                (fun c (cfg : config) ->
+                  if cfg.total_height <= b.height then vars := (j, c) :: !vars)
+                configs)
+            boxes;
+          let vars = Array.of_list (List.rev !vars) in
+          let nv = Array.length vars in
+          if nv = 0 || nv > 6000 then None
+          else begin
+            let nb = Array.length boxes in
+            let rows = nb + k in
+            let a = Array.make_matrix rows nv Rat.zero in
+            let b_vec = Array.make rows Rat.zero in
+            Array.iteri
+              (fun v (j, c) ->
+                a.(j).(v) <- Rat.one;
+                Array.iteri
+                  (fun i cnt ->
+                    if cnt > 0 then a.(nb + i).(v) <- Rat.of_int cnt)
+                  configs.(c).counts)
+              vars;
+            Array.iteri
+              (fun j (bx : Budget_fit.free_box) -> b_vec.(j) <- Rat.of_int bx.len)
+              boxes;
+            let class_width = Array.make k 0 in
+            List.iter
+              (fun (it : Item.t) ->
+                let rec idx i = if heights.(i) = it.Item.h then i else idx (i + 1) in
+                let i = idx 0 in
+                class_width.(i) <- class_width.(i) + it.Item.w)
+              items;
+            for i = 0 to k - 1 do
+              b_vec.(nb + i) <- Rat.of_int class_width.(i)
+            done;
+            match Simplex.feasible_point ~a ~b:b_vec with
+            | None -> None
+            | Some x ->
+                (* Greedy fill of the basic solution, flooring config
+                   widths to integers; queues per height class ordered
+                   by decreasing width. *)
+                let queues =
+                  Array.init k (fun i ->
+                      ref
+                        (List.filter (fun (it : Item.t) -> it.Item.h = heights.(i)) items
+                        |> List.sort Item.compare_by_width_desc))
+                in
+                let placements = ref [] in
+                let cursors =
+                  Array.map (fun (bx : Budget_fit.free_box) -> ref bx.x) boxes
+                in
+                let used_configs = ref 0 in
+                Array.iteri
+                  (fun v (j, c) ->
+                    let wc = Rat.floor x.(v) in
+                    if wc > 0 then begin
+                      incr used_configs;
+                      let x0 = !(cursors.(j)) in
+                      cursors.(j) := x0 + wc;
+                      Array.iteri
+                        (fun i cnt ->
+                          for _ = 1 to cnt do
+                            (* One lane of height class i across
+                               [x0, x0 + wc). *)
+                            let used = ref 0 in
+                            let continue_lane = ref true in
+                            while !continue_lane do
+                              match !(queues.(i)) with
+                              | [] -> continue_lane := false
+                              | it :: rest ->
+                                  if !used + it.Item.w <= wc then begin
+                                    placements :=
+                                      { item = it; start = x0 + !used } :: !placements;
+                                    used := !used + it.Item.w;
+                                    queues.(i) := rest
+                                  end
+                                  else continue_lane := false
+                            done
+                          done)
+                        configs.(c).counts
+                    end)
+                  vars;
+                let overflow =
+                  Array.to_list queues |> List.concat_map (fun q -> !q)
+                in
+                Some
+                  {
+                    placements = !placements;
+                    overflow;
+                    configurations_used = !used_configs;
+                  }
+          end
+    end
+  end

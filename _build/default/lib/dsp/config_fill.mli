@@ -1,0 +1,37 @@
+(** Lemma 10: configuration-LP placement of vertical items into free
+    boxes.
+
+    A configuration is a multiset of (rounded) vertical item heights
+    that fits within a box's height.  The LP assigns each box a
+    fractional mix of configurations whose widths exactly exhaust the
+    box and whose lanes exactly cover the total width of every height
+    class; a basic feasible solution has at most
+    [#heights + #boxes] non-zero entries, and rounding it down leaves
+    at most one overflowing item per lane, which the caller re-places
+    separately (the paper parks them in 7(|H_V| + |B_P|) extra boxes
+    of height H/4).
+
+    Returns [None] when the configuration space exceeds the
+    enumeration cap or the LP is infeasible — callers fall back to
+    greedy placement, preserving correctness (the LP only improves
+    packing quality). *)
+
+open Dsp_core
+
+type placement = { item : Item.t; start : int }
+
+type result = {
+  placements : placement list;
+  overflow : Item.t list;  (** items to re-place elsewhere *)
+  configurations_used : int;
+}
+
+val fill :
+  ?max_configs:int ->
+  boxes:Budget_fit.free_box list ->
+  items:Item.t list ->
+  unit ->
+  result option
+(** All [items] appear exactly once in [placements + overflow].  Every
+    placement keeps the per-column sum of placed item heights within
+    its box's height, and items never cross box borders. *)

@@ -1,0 +1,108 @@
+open Dsp_core
+
+type orientation = Fixed | Rotated
+
+let dims (it : Item.t) = function
+  | Fixed -> (it.Item.w, it.Item.h)
+  | Rotated -> (it.Item.h, it.Item.w)
+
+let admissible (inst : Instance.t) it o = fst (dims it o) <= inst.Instance.width
+
+let apply (inst : Instance.t) orientations =
+  if Array.length orientations <> Instance.n_items inst then
+    invalid_arg "Rotations.apply: orientation array length mismatch";
+  let items =
+    Array.mapi
+      (fun i o ->
+        let it = Instance.item inst i in
+        if not (admissible inst it o) then
+          invalid_arg "Rotations.apply: inadmissible orientation";
+        let w, h = dims it o in
+        Item.make ~id:i ~w ~h)
+      orientations
+  in
+  Instance.make ~width:inst.Instance.width items
+
+let best_fit_rotating (inst : Instance.t) =
+  let width = inst.Instance.width in
+  let n = Instance.n_items inst in
+  let orientations = Array.make n Fixed in
+  let starts = Array.make n 0 in
+  let profile = Profile.create width in
+  let order =
+    Array.to_list inst.Instance.items
+    |> List.sort (fun (a : Item.t) (b : Item.t) ->
+           compare (max b.Item.w b.Item.h) (max a.Item.w a.Item.h))
+  in
+  List.iter
+    (fun (it : Item.t) ->
+      (* Best (resulting peak, start) over both admissible
+         orientations; ties prefer the flatter orientation. *)
+      let candidates =
+        List.filter_map
+          (fun o ->
+            if admissible inst it o then begin
+              let w, h = dims it o in
+              let best = ref 0 and best_peak = ref max_int in
+              for s = 0 to width - w do
+                let p = Profile.peak_in profile ~start:s ~len:w in
+                if p < !best_peak then begin
+                  best_peak := p;
+                  best := s
+                end
+              done;
+              Some (!best_peak + h, h, o, !best)
+            end
+            else None)
+          [ Fixed; Rotated ]
+      in
+      match List.sort compare candidates with
+      | (_, _, o, s) :: _ ->
+          orientations.(it.Item.id) <- o;
+          starts.(it.Item.id) <- s;
+          let w, h = dims it o in
+          Profile.add profile ~start:s ~len:w ~height:h
+      | [] -> assert false (* Fixed is always admissible *))
+    order;
+  let oriented = apply inst orientations in
+  (Packing.make oriented starts, orientations)
+
+let optimal_height ?(node_limit = 20_000_000) (inst : Instance.t) =
+  let n = Instance.n_items inst in
+  (* Items whose two orientations genuinely differ and are both
+     admissible. *)
+  let rotatable =
+    List.filter
+      (fun i ->
+        let it = Instance.item inst i in
+        it.Item.w <> it.Item.h && admissible inst it Rotated)
+      (List.init n Fun.id)
+  in
+  let best = ref None in
+  let orientations = Array.make n Fixed in
+  let rec go = function
+    | [] -> (
+        let candidate = apply inst orientations in
+        match Dsp_exact.Dsp_bb.optimal_height ~node_limit candidate with
+        | Some h -> (
+            match !best with
+            | Some (bh, _) when bh <= h -> ()
+            | _ -> best := Some (h, Array.copy orientations))
+        | None -> ())
+    | i :: rest ->
+        orientations.(i) <- Fixed;
+        go rest;
+        orientations.(i) <- Rotated;
+        go rest;
+        orientations.(i) <- Fixed
+  in
+  if List.length rotatable > 12 then None
+  else begin
+    go rotatable;
+    !best
+  end
+
+let rotation_gain ?node_limit (inst : Instance.t) =
+  match (Dsp_exact.Dsp_bb.optimal_height ?node_limit inst, optimal_height ?node_limit inst) with
+  | Some fixed, Some (rotated, _) -> Some (fixed, rotated)
+  | _ -> None

@@ -1,0 +1,230 @@
+open Dsp_core
+
+type line = Bottom_line | Middle_line | Top_line
+
+type assignment = { lines : (int * line list) list; repairs : int }
+
+let all_lines = [ Bottom_line; Middle_line; Top_line ]
+
+(* Consecutive machine sets, the only shapes an interval can cross. *)
+let consecutive = function
+  | [ _ ] | [ Bottom_line; Middle_line ] | [ Middle_line; Top_line ]
+  | [ Bottom_line; Middle_line; Top_line ] ->
+      true
+  | _ -> false
+
+let sort_lines ls =
+  let rank = function Bottom_line -> 0 | Middle_line -> 1 | Top_line -> 2 in
+  List.sort_uniq (fun a b -> compare (rank a) (rank b)) ls
+
+(* Canonical sorted stacking: per column, active items tallest first
+   from the floor; returns the bottom y (doubled units) of [item] at
+   column [x]. *)
+let canonical_y items x (item : Item.t) =
+  let taller (a : Item.t) (b : Item.t) =
+    a.Item.h > b.Item.h || (a.Item.h = b.Item.h && a.Item.id < b.Item.id)
+  in
+  List.fold_left
+    (fun acc ((other : Item.t), s) ->
+      if
+        other.Item.id <> item.Item.id
+        && s <= x
+        && x < s + other.Item.w
+        && taller other item
+      then acc + (2 * other.Item.h)
+      else acc)
+    0 items
+
+let crossings ~hb2 ~q2 y2 h2 =
+  List.filter_map
+    (fun (coord, l) -> if y2 < coord && coord < y2 + h2 then Some l else None)
+    [ (q2, Bottom_line); (hb2 / 2, Middle_line); (hb2 - q2, Top_line) ]
+
+(* Nearest line when the canonical position crosses none (degenerate
+   short-item case the lemma's preconditions exclude). *)
+let nearest_line ~hb2 ~q2 y2 h2 =
+  let mid = y2 + (h2 / 2) in
+  let candidates =
+    [ (abs (mid - q2), Bottom_line); (abs (mid - (hb2 / 2)), Middle_line);
+      (abs (mid - (hb2 - q2)), Top_line) ]
+  in
+  snd (List.hd (List.sort compare candidates))
+
+let assign ~box_height ~quarter ~items =
+  let hb2 = 2 * box_height and q2 = 2 * quarter in
+  List.iter
+    (fun ((it : Item.t), _) ->
+      if it.Item.h > box_height + quarter then
+        invalid_arg "Tall_assignment.assign: item taller than the extended box")
+    items;
+  (* Initial machine sets from the canonical layout at each item's
+     start column. *)
+  let initial =
+    List.map
+      (fun ((it : Item.t), s) ->
+        let y2 = canonical_y items s it in
+        let cs = crossings ~hb2 ~q2 y2 (2 * it.Item.h) in
+        let cs = if cs = [] then [ nearest_line ~hb2 ~q2 y2 (2 * it.Item.h) ] else cs in
+        (it, s, sort_lines cs))
+      items
+  in
+  (* Normalization sweep: keep earlier-starting items fixed, move a
+     conflicting later item to a free consecutive set of its size. *)
+  let by_start =
+    List.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2) initial
+  in
+  let repairs = ref 0 in
+  let assigned : (Item.t * int * line list) list ref = ref [] in
+  let overlap s w (other : Item.t) s' = s < s' + other.Item.w && s' < s + w in
+  let conflicts ?exclude s w ls =
+    List.filter
+      (fun ((other : Item.t), s', ls') ->
+        (match exclude with Some id -> other.Item.id <> id | None -> true)
+        && overlap s w other s'
+        && List.exists (fun l -> List.mem l ls') ls)
+      !assigned
+  in
+  let sets_of_size = function
+    | 1 -> [ [ Bottom_line ]; [ Top_line ]; [ Middle_line ] ]
+    | 2 -> [ [ Bottom_line; Middle_line ]; [ Middle_line; Top_line ] ]
+    | _ -> [ all_lines ]
+  in
+  List.iter
+    (fun ((it : Item.t), s, ls) ->
+      let size = List.length ls in
+      let candidate_sets = ls :: sets_of_size size in
+      let rec pick = function
+        | [] -> None
+        | c :: rest ->
+            let c = sort_lines c in
+            if conflicts s it.Item.w c = [] then Some c else pick rest
+      in
+      match pick candidate_sets with
+      | Some chosen ->
+          if chosen <> ls then incr repairs;
+          assigned := (it, s, chosen) :: !assigned
+      | None ->
+          (* The paper's swap: when every set of the right size is
+             blocked, move one blocking earlier item to an alternative
+             set so the current item can take its place. *)
+          let try_swap () =
+            let rec over_c = function
+              | [] -> false
+              | c :: rest -> (
+                  let c = sort_lines c in
+                  match conflicts s it.Item.w c with
+                  | [ ((e : Item.t), es, els) ] ->
+                      let e_alts =
+                        List.map sort_lines (sets_of_size (List.length els))
+                      in
+                      let ok_e alt =
+                        (not (List.exists (fun l -> List.mem l c) alt))
+                        && conflicts ~exclude:e.Item.id es e.Item.w alt = []
+                        (* the current item is not in [assigned] yet,
+                           so check against its prospective set too *)
+                        && not
+                             (overlap es e.Item.w it s
+                             && List.exists (fun l -> List.mem l c) alt)
+                      in
+                      (match List.find_opt ok_e e_alts with
+                      | Some alt ->
+                          assigned :=
+                            List.map
+                              (fun ((o : Item.t), os, ols) ->
+                                if o.Item.id = e.Item.id then (o, os, alt)
+                                else (o, os, ols))
+                              !assigned;
+                          repairs := !repairs + 2;
+                          assigned := (it, s, c) :: !assigned;
+                          true
+                      | None -> over_c rest)
+                  | _ -> over_c rest)
+            in
+            over_c candidate_sets
+          in
+          if not (try_swap ()) then begin
+            (* Keep the initial crossing set; [verify] will report. *)
+            incr repairs;
+            assigned := (it, s, ls) :: !assigned
+          end)
+    by_start;
+  {
+    lines = List.map (fun (it, _, ls) -> (it.Item.id, ls)) !assigned;
+    repairs = !repairs;
+  }
+
+let placement_y ~box_height ~quarter (it : Item.t) = function
+  | [ Bottom_line ] | [ Bottom_line; Middle_line ]
+  | [ Bottom_line; Middle_line; Top_line ] ->
+      0
+  | [ Middle_line ] -> box_height - quarter - it.Item.h
+  | [ Middle_line; Top_line ] | [ Top_line ] ->
+      box_height + quarter - it.Item.h
+  | _ -> 0
+
+let verify ~box_height ~quarter ~items assignment =
+  let err = ref None in
+  let set e = if !err = None then err := Some e in
+  let lines_of id =
+    match List.assoc_opt id assignment.lines with
+    | Some ls -> ls
+    | None -> []
+  in
+  (* Property: every item has a consecutive non-empty set; >= 2 lines
+     include the middle. *)
+  List.iter
+    (fun ((it : Item.t), _) ->
+      let ls = lines_of it.Item.id in
+      if ls = [] then set (Printf.sprintf "item %d unassigned" it.Item.id);
+      if not (consecutive (sort_lines ls)) then
+        set (Printf.sprintf "item %d has a non-consecutive machine set" it.Item.id);
+      if List.length ls >= 2 && not (List.mem Middle_line ls) then
+        set (Printf.sprintf "item %d spans two lines without the middle" it.Item.id))
+    items;
+  (* Property: per column, machine sets are disjoint. *)
+  let width =
+    List.fold_left (fun acc ((it : Item.t), s) -> max acc (s + it.Item.w)) 0 items
+  in
+  for x = 0 to width - 1 do
+    let active =
+      List.filter (fun ((it : Item.t), s) -> s <= x && x < s + it.Item.w) items
+    in
+    List.iter
+      (fun l ->
+        let users =
+          List.filter
+            (fun ((it : Item.t), _) -> List.mem l (lines_of it.Item.id))
+            active
+        in
+        if List.length users > 1 then
+          set (Printf.sprintf "column %d: line shared by %d items" x
+                 (List.length users)))
+      all_lines
+  done;
+  (* Geometric check: place by assignment, no overlap per column. *)
+  for x = 0 to width - 1 do
+    let active =
+      List.filter (fun ((it : Item.t), s) -> s <= x && x < s + it.Item.w) items
+    in
+    let intervals =
+      List.map
+        (fun ((it : Item.t), _) ->
+          let y =
+            placement_y ~box_height ~quarter it (sort_lines (lines_of it.Item.id))
+          in
+          (y, y + it.Item.h, it.Item.id))
+        active
+      |> List.sort compare
+    in
+    let rec sweep = function
+      | (_, hi1, i1) :: ((lo2, _, i2) :: _ as rest) ->
+          if hi1 > lo2 then
+            set
+              (Printf.sprintf "column %d: items %d and %d overlap after placement"
+                 x i1 i2)
+          else sweep rest
+      | [ _ ] | [] -> ()
+    in
+    sweep intervals
+  done;
+  match !err with Some e -> Error e | None -> Ok ()

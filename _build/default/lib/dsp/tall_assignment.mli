@@ -1,0 +1,52 @@
+(** Lemma 8: assigning tall items to the bottom, middle, or top of a
+    high box.
+
+    For a box of height h(B) > 3/4·H' containing only tall and
+    vertical items, the paper draws three horizontal lines — at
+    H'/4, h(B)/2 and h(B) − H'/4 — sorts each unit column's tall
+    items by height, and reads the result as a schedule on three
+    "machines" (one per line).  The proof then normalizes that
+    schedule so that
+
+    + every item occupies exactly as many consecutive machines as the
+      number of lines its height forces,
+    + every item on two or more machines includes the middle one, and
+    + no two items share a machine at any column,
+
+    after which bottom/middle/top positions follow and the +H'/4
+    extension makes them geometrically feasible (Lemma 9, step 1).
+
+    This module implements the transformation and exposes the three
+    properties for verification; experiment E15 runs it on tall boxes
+    extracted from real packings.  Coordinates are handled in doubled
+    units so the half-height line needs no rationals.
+
+    Substitution note (DESIGN.md §3): the normalization here resolves
+    conflicts with a single-swap repair rather than the proof's full
+    iterative marking; on random feasible boxes it verifies ~98 % of
+    the time and {!verify} reports the residual corners explicitly,
+    so no caller can silently rely on an unnormalized assignment. *)
+
+open Dsp_core
+
+type line = Bottom_line | Middle_line | Top_line
+
+type assignment = {
+  lines : (int * line list) list;  (** item id → its machine set *)
+  repairs : int;  (** swaps performed by the normalization *)
+}
+
+val assign :
+  box_height:int -> quarter:int -> items:(Item.t * int) list -> assignment
+(** [items] are tall items with their start columns inside the box.
+    [quarter] is H'/4 (rounded up); [box_height] is h(B).
+    @raise Invalid_argument if an item is taller than
+    [box_height + quarter]. *)
+
+val verify :
+  box_height:int -> quarter:int -> items:(Item.t * int) list -> assignment ->
+  (unit, string) result
+(** Checks the three schedule properties above, plus that placing
+    bottom items at 0, middle items below h(B) − H'/4 and top items
+    below h(B) + H'/4 yields no per-column overlap among items with
+    disjoint machine sets. *)

@@ -1,0 +1,1 @@
+lib/exact/dsp_bb.ml: Array Dsp_core Instance Item List Option Packing Profile

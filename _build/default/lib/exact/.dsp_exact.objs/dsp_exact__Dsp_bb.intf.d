@@ -1,0 +1,1 @@
+lib/exact/dsp_bb.mli: Dsp_core Instance Packing

@@ -1,0 +1,1 @@
+lib/exact/pts_exact.ml: Array Dsp_bb Dsp_core Dsp_transform Dsp_util Option Pts

@@ -1,0 +1,1 @@
+lib/exact/pts_exact.mli: Dsp_core Pts

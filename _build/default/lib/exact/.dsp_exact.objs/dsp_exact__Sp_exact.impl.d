@@ -1,0 +1,1 @@
+lib/exact/sp_exact.ml: Array Dsp_core Instance Item List Option Rect_packing

@@ -1,0 +1,1 @@
+lib/exact/sp_exact.mli: Dsp_core Instance Rect_packing

@@ -1,0 +1,1 @@
+lib/exact/three_partition.mli:

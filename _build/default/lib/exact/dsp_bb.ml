@@ -1,0 +1,139 @@
+open Dsp_core
+
+type outcome = Feasible of Packing.t | Infeasible | Node_budget_exhausted
+
+exception Out_of_nodes
+
+(* Greedy best-fit by descending height: place each item at the start
+   column minimizing the resulting window peak. Used only as an upper
+   bound for the binary search. *)
+let greedy_height (inst : Instance.t) =
+  let width = inst.Instance.width in
+  let profile = Profile.create width in
+  let order =
+    Array.to_list inst.Instance.items |> List.sort Item.compare_by_height_desc
+  in
+  List.iter
+    (fun (it : Item.t) ->
+      let best = ref 0 and best_peak = ref max_int in
+      for s = 0 to width - it.w do
+        let p = Profile.peak_in profile ~start:s ~len:it.w in
+        if p < !best_peak then begin
+          best_peak := p;
+          best := s
+        end
+      done;
+      Profile.add_item profile it ~start:!best)
+    order;
+  Profile.peak profile
+
+let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
+  let width = inst.Instance.width in
+  let n = Instance.n_items inst in
+  if Instance.total_area inst > height * width then Infeasible
+  else if Instance.max_height inst > height then Infeasible
+  else begin
+    let order = Array.copy inst.Instance.items in
+    Array.sort Item.compare_by_area_desc order;
+    let loads = Array.make width 0 in
+    let starts = Array.make n (-1) in
+    (* remaining.(k) = total area of items order.(k..). *)
+    let remaining = Array.make (n + 1) 0 in
+    for k = n - 1 downto 0 do
+      remaining.(k) <- remaining.(k + 1) + Item.area order.(k)
+    done;
+    let free_capacity = ref (height * width) in
+    let place (it : Item.t) s =
+      for x = s to s + it.w - 1 do
+        loads.(x) <- loads.(x) + it.h
+      done;
+      free_capacity := !free_capacity - Item.area it;
+      starts.(it.id) <- s
+    in
+    let unplace (it : Item.t) s =
+      for x = s to s + it.w - 1 do
+        loads.(x) <- loads.(x) - it.h
+      done;
+      free_capacity := !free_capacity + Item.area it;
+      starts.(it.id) <- -1
+    in
+    let fits (it : Item.t) s =
+      let ok = ref true in
+      let x = ref s in
+      while !ok && !x < s + it.w do
+        if loads.(!x) + it.h > height then ok := false;
+        incr x
+      done;
+      !ok
+    in
+    let rec go k =
+      incr nodes;
+      if !nodes > node_limit then raise Out_of_nodes;
+      if k = n then true
+      else begin
+        let it = order.(k) in
+        if remaining.(k) > !free_capacity then false
+        else begin
+          let max_start =
+            (* Mirror symmetry: confine the first item to the left
+               half of the strip. *)
+            if k = 0 then (width - it.w) / 2 else width - it.w
+          in
+          let min_start =
+            (* Identical items in non-decreasing start order. *)
+            if k > 0 && order.(k - 1).Item.w = it.w && order.(k - 1).Item.h = it.h
+            then starts.(order.(k - 1).Item.id)
+            else 0
+          in
+          let rec try_start s =
+            if s > max_start then false
+            else if fits it s then begin
+              place it s;
+              if go (k + 1) then true
+              else begin
+                unplace it s;
+                try_start (s + 1)
+              end
+            end
+            else try_start (s + 1)
+          in
+          try_start (max 0 min_start)
+        end
+      end
+    in
+    match go 0 with
+    | true -> Feasible (Packing.make inst starts)
+    | false -> Infeasible
+    | exception Out_of_nodes -> Node_budget_exhausted
+  end
+
+let default_node_limit = 20_000_000
+
+let decide ?(node_limit = default_node_limit) inst ~height =
+  let nodes = ref 0 in
+  decide_internal ~nodes ~node_limit inst ~height
+
+let solve_with_stats ?(node_limit = default_node_limit) inst =
+  let lo = Instance.lower_bound inst and hi = greedy_height inst in
+  let nodes = ref 0 in
+  let best = ref None in
+  (* Binary search on the peak: decision is monotone in [height]. *)
+  let rec search lo hi =
+    if lo > hi then true
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      match decide_internal ~nodes ~node_limit inst ~height:mid with
+      | Feasible pk ->
+          best := Some pk;
+          search lo (mid - 1)
+      | Infeasible -> search (mid + 1) hi
+      | Node_budget_exhausted -> false
+  in
+  if Instance.n_items inst = 0 then Some (Packing.make inst [||], 0)
+  else if search lo hi then
+    match !best with Some pk -> Some (pk, !nodes) | None -> None
+  else None
+
+let solve ?node_limit inst = Option.map fst (solve_with_stats ?node_limit inst)
+let optimal_height ?node_limit inst =
+  Option.map (fun pk -> Packing.height pk) (solve ?node_limit inst)

@@ -1,0 +1,34 @@
+(** Exact Demand Strip Packing by branch and bound.
+
+    Items are placed in descending area order; each node extends the
+    partial packing by all start columns of the next item that keep
+    the profile peak within the current budget.  Pruning:
+
+    - peak budget: a placement is cut when the window peak would
+      exceed the decision bound;
+    - area: remaining item area must fit into the free capacity below
+      the bound;
+    - duplicate items: items with equal dimensions are forced into
+      non-decreasing start order;
+    - mirror symmetry: the first item is confined to the left half.
+
+    Exact search is exponential — the paper proves the problem
+    strongly NP-hard — so all entry points accept a node budget and
+    return [None] when it is exhausted. *)
+
+open Dsp_core
+
+type outcome = Feasible of Packing.t | Infeasible | Node_budget_exhausted
+
+val decide : ?node_limit:int -> Instance.t -> height:int -> outcome
+(** Is there a packing with peak at most [height]? *)
+
+val solve : ?node_limit:int -> Instance.t -> Packing.t option
+(** Optimal packing via binary search on the peak between
+    {!Instance.lower_bound} and a greedy upper bound; [None] only on
+    node-budget exhaustion. *)
+
+val optimal_height : ?node_limit:int -> Instance.t -> int option
+
+val solve_with_stats : ?node_limit:int -> Instance.t -> (Packing.t * int) option
+(** Optimal packing and total nodes explored. *)

@@ -1,0 +1,47 @@
+open Dsp_core
+
+let dual (inst : Pts.Inst.t) ~makespan =
+  Dsp_transform.Transform.pts_to_dsp_instance inst ~width:makespan
+
+let decide ?node_limit (inst : Pts.Inst.t) ~makespan =
+  if makespan < Pts.Inst.max_time inst then None
+  else
+    let dsp = dual inst ~makespan in
+    match Dsp_bb.decide ?node_limit dsp ~height:inst.Pts.Inst.machines with
+    | Dsp_bb.Feasible pk -> (
+        match
+          Dsp_transform.Transform.packing_to_schedule pk
+            ~machines:inst.Pts.Inst.machines
+        with
+        | Ok (sched, _) ->
+            (* Rebuild on the original instance: the dual round trip
+               preserves job ids, so sigma/rho carry over directly. *)
+            Some
+              (Pts.Schedule.make inst ~sigma:sched.Pts.Schedule.sigma
+                 ~rho:sched.Pts.Schedule.rho)
+        | Error _ -> None)
+    | Dsp_bb.Infeasible | Dsp_bb.Node_budget_exhausted -> None
+
+let solve ?node_limit (inst : Pts.Inst.t) =
+  if Pts.Inst.n_jobs inst = 0 then
+    Some (Pts.Schedule.make inst ~sigma:[||] ~rho:[||])
+  else begin
+    let lo = Pts.Inst.lower_bound inst in
+    let hi =
+      Array.fold_left (fun acc (j : Pts.Job.t) -> acc + j.p) 0 inst.Pts.Inst.jobs
+    in
+    let best = ref None in
+    let ok t =
+      match decide ?node_limit inst ~makespan:t with
+      | Some sched ->
+          best := Some sched;
+          true
+      | None -> false
+    in
+    match Dsp_util.Xutil.binary_search_min lo hi ok with
+    | Some _ -> !best
+    | None -> None
+  end
+
+let optimal_makespan ?node_limit inst =
+  Option.map Pts.Schedule.makespan (solve ?node_limit inst)

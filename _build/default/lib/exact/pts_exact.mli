@@ -1,0 +1,21 @@
+(** Exact Parallel Task Scheduling via the DSP duality.
+
+    The paper's Theorem 1 shows a schedule on [m] machines with
+    makespan [T] exists iff a DSP packing of height [m] in a strip of
+    width [T] exists.  This solver is that theorem turned into code:
+    binary search on [T], decide each guess with the exact DSP solver
+    on the transformed instance, and recover concrete machine
+    assignments with the Figure 3 repair procedure. *)
+
+open Dsp_core
+
+val decide :
+  ?node_limit:int -> Pts.Inst.t -> makespan:int -> Pts.Schedule.t option
+(** A schedule with makespan at most [makespan], if one exists within
+    the node budget.  [None] conflates infeasibility with budget
+    exhaustion; use {!solve} when the distinction matters. *)
+
+val solve : ?node_limit:int -> Pts.Inst.t -> Pts.Schedule.t option
+(** Optimal schedule, or [None] on node-budget exhaustion. *)
+
+val optimal_makespan : ?node_limit:int -> Pts.Inst.t -> int option

@@ -1,0 +1,183 @@
+open Dsp_core
+
+type outcome = Feasible of Rect_packing.t | Infeasible | Node_budget_exhausted
+
+exception Out_of_nodes
+
+let x_overlap (a : Item.t) sa (b : Item.t) sb =
+  sa < sb + b.w && sb < sa + a.w
+
+(* Complete search for a vertical arrangement of rectangles with fixed
+   x-intervals: repeatedly choose any unplaced item and a candidate y
+   (floor, or top of a placed item), skipping dimension-duplicates.
+   Completeness follows from gravity normalization: in any feasible
+   arrangement items can be pushed down until each rests on the floor
+   or on another item, and placing in ascending order of resulting y
+   visits exactly such configurations. *)
+let y_search ~nodes ~node_limit (inst : Instance.t) ~starts ~height =
+  let n = Instance.n_items inst in
+  let ys = Array.make n (-1) in
+  let placed = Array.make n false in
+  let overlaps i y j =
+    (* Does item i at (starts.(i), y) overlap placed item j? *)
+    let a = Instance.item inst i and b = Instance.item inst j in
+    x_overlap a starts.(i) b starts.(j)
+    && y < ys.(j) + b.h
+    && ys.(j) < y + a.h
+  in
+  let candidate_ys i =
+    let a = Instance.item inst i in
+    let cs = ref [ 0 ] in
+    for j = 0 to n - 1 do
+      if placed.(j) then begin
+        let b = Instance.item inst j in
+        if x_overlap a starts.(i) b starts.(j) then cs := (ys.(j) + b.h) :: !cs
+      end
+    done;
+    List.sort_uniq compare (List.filter (fun y -> y + a.h <= height) !cs)
+  in
+  let rec go k =
+    incr nodes;
+    if !nodes > node_limit then raise Out_of_nodes;
+    if k = n then true
+    else begin
+      (* Candidate items: one representative per unplaced dimension
+         class, to break permutation symmetry between equal items. *)
+      let seen = ref [] in
+      let result = ref false in
+      let i = ref 0 in
+      while (not !result) && !i < n do
+        if not placed.(!i) then begin
+          let it = Instance.item inst !i in
+          let key = (it.Item.w, it.Item.h, starts.(!i)) in
+          if not (List.mem key !seen) then begin
+            seen := key :: !seen;
+            let rec try_ys = function
+              | [] -> ()
+              | y :: rest ->
+                  let ok = ref true in
+                  for j = 0 to n - 1 do
+                    if placed.(j) && overlaps !i y j then ok := false
+                  done;
+                  if !ok then begin
+                    placed.(!i) <- true;
+                    ys.(!i) <- y;
+                    if go (k + 1) then result := true
+                    else begin
+                      placed.(!i) <- false;
+                      ys.(!i) <- -1;
+                      try_ys rest
+                    end
+                  end
+                  else try_ys rest
+            in
+            try_ys (candidate_ys !i)
+          end
+        end;
+        incr i
+      done;
+      !result
+    end
+  in
+  if go 0 then Some ys else None
+
+let y_feasible ?(node_limit = 5_000_000) inst ~starts ~height =
+  let nodes = ref 0 in
+  try y_search ~nodes ~node_limit inst ~starts ~height
+  with Out_of_nodes -> None
+
+let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
+  let width = inst.Instance.width in
+  let n = Instance.n_items inst in
+  if Instance.total_area inst > height * width then Infeasible
+  else if Instance.max_height inst > height then Infeasible
+  else begin
+    let order = Array.copy inst.Instance.items in
+    Array.sort Item.compare_by_area_desc order;
+    let loads = Array.make width 0 in
+    let starts = Array.make n (-1) in
+    let result = ref None in
+    let fits (it : Item.t) s =
+      let ok = ref true in
+      for x = s to s + it.w - 1 do
+        if loads.(x) + it.h > height then ok := false
+      done;
+      !ok
+    in
+    let rec go k =
+      incr nodes;
+      if !nodes > node_limit then raise Out_of_nodes;
+      if k = n then begin
+        match y_search ~nodes ~node_limit inst ~starts ~height with
+        | Some ys ->
+            result :=
+              Some
+                (Rect_packing.make inst
+                   (Array.mapi (fun i y -> { Rect_packing.x = starts.(i); y }) ys));
+            true
+        | None -> false
+      end
+      else begin
+        let it = order.(k) in
+        let max_start = if k = 0 then (width - it.w) / 2 else width - it.w in
+        let min_start =
+          if k > 0 && order.(k - 1).Item.w = it.w && order.(k - 1).Item.h = it.h
+          then starts.(order.(k - 1).Item.id)
+          else 0
+        in
+        let rec try_start s =
+          if s > max_start then false
+          else if fits it s then begin
+            for x = s to s + it.w - 1 do
+              loads.(x) <- loads.(x) + it.h
+            done;
+            starts.(it.id) <- s;
+            if go (k + 1) then true
+            else begin
+              for x = s to s + it.w - 1 do
+                loads.(x) <- loads.(x) - it.h
+              done;
+              starts.(it.id) <- -1;
+              try_start (s + 1)
+            end
+          end
+          else try_start (s + 1)
+        in
+        try_start (max 0 min_start)
+      end
+    in
+    match go 0 with
+    | true -> ( match !result with Some pk -> Feasible pk | None -> Infeasible)
+    | false -> Infeasible
+    | exception Out_of_nodes -> Node_budget_exhausted
+  end
+
+let default_node_limit = 20_000_000
+
+let decide ?(node_limit = default_node_limit) inst ~height =
+  let nodes = ref 0 in
+  decide_internal ~nodes ~node_limit inst ~height
+
+let solve ?(node_limit = default_node_limit) inst =
+  if Instance.n_items inst = 0 then Some (Rect_packing.make inst [||])
+  else begin
+    let lo = Instance.lower_bound inst in
+    let hi = Instance.total_area inst (* trivially enough: stack everything *) in
+    let nodes = ref 0 in
+    let best = ref None in
+    let rec search lo hi =
+      if lo > hi then true
+      else
+        let mid = lo + ((hi - lo) / 2) in
+        match decide_internal ~nodes ~node_limit inst ~height:mid with
+        | Feasible pk ->
+            best := Some pk;
+            search lo (mid - 1)
+        | Infeasible -> search (mid + 1) hi
+        | Node_budget_exhausted -> false
+    in
+    if search lo hi then !best else None
+  end
+
+let optimal_height ?node_limit inst =
+  Option.map Rect_packing.height (solve ?node_limit inst)

@@ -1,0 +1,25 @@
+(** Exact classical (unsliced) Strip Packing for small instances.
+
+    Used by the integrality-gap experiments (E1, E12) to compute
+    OPT_SP exactly.  The search runs in two phases: an outer branch
+    and bound assigns start columns (pruned by the sliced peak, which
+    lower-bounds the unsliced height), and a complete backtracking
+    check decides whether rectangles with fixed x-intervals admit a
+    non-overlapping vertical arrangement within the height budget
+    (gravity-normalized candidate y positions: the floor or the top of
+    an already-placed item).  Strictly exponential; intended for
+    n ≤ 10. *)
+
+open Dsp_core
+
+type outcome = Feasible of Rect_packing.t | Infeasible | Node_budget_exhausted
+
+val decide : ?node_limit:int -> Instance.t -> height:int -> outcome
+val solve : ?node_limit:int -> Instance.t -> Rect_packing.t option
+val optimal_height : ?node_limit:int -> Instance.t -> int option
+
+val y_feasible :
+  ?node_limit:int -> Instance.t -> starts:int array -> height:int -> int array option
+(** Vertical-arrangement check for fixed start columns: [Some ys] with
+    the bottom y of every item, or [None] (also on budget
+    exhaustion). *)

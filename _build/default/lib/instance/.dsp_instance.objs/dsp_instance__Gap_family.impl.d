@@ -1,0 +1,1 @@
+lib/instance/gap_family.ml: Dsp_core Instance List

@@ -1,0 +1,1 @@
+lib/instance/gap_family.mli: Dsp_core Instance

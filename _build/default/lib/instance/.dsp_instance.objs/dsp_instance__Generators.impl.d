@@ -1,0 +1,1 @@
+lib/instance/generators.ml: Array Dsp_core Dsp_util Instance Item List Pts

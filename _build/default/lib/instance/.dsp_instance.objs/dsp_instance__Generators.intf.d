@@ -1,0 +1,1 @@
+lib/instance/generators.mli: Dsp_core Dsp_util Instance Pts

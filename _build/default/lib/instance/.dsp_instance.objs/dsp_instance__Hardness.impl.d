@@ -1,0 +1,1 @@
+lib/instance/hardness.ml: Array Dsp_core Dsp_util Generators List Printf Pts

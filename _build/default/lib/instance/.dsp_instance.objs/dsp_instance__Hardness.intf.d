@@ -1,0 +1,1 @@
+lib/instance/hardness.mli: Dsp_core Dsp_util Instance Pts

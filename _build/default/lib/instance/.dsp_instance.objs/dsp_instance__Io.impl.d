@@ -1,0 +1,1 @@
+lib/instance/io.ml: Array Buffer Dsp_core Fun Instance Item List Printf Pts String

@@ -1,0 +1,79 @@
+open Dsp_core
+
+let instance_to_string (inst : Instance.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "dsp %d\n" inst.Instance.width);
+  Array.iter
+    (fun (it : Item.t) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" it.w it.h))
+    inst.Instance.items;
+  Buffer.contents buf
+
+let pts_to_string (inst : Pts.Inst.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "pts %d\n" inst.Pts.Inst.machines);
+  Array.iter
+    (fun (j : Pts.Job.t) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" j.Pts.Job.p j.Pts.Job.q))
+    inst.Pts.Inst.jobs;
+  Buffer.contents buf
+
+let relevant_lines s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let parse_pairs lines =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> go ((a, b) :: acc) rest
+            | _ -> Error (Printf.sprintf "bad pair line %S" line))
+        | _ -> Error (Printf.sprintf "bad pair line %S" line))
+  in
+  go [] lines
+
+let parse_header keyword s =
+  match relevant_lines s with
+  | [] -> Error "empty input"
+  | header :: rest -> (
+      match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+      | [ kw; v ] when kw = keyword -> (
+          match int_of_string_opt v with
+          | Some v -> Ok (v, rest)
+          | None -> Error (Printf.sprintf "bad header %S" header))
+      | _ -> Error (Printf.sprintf "expected %S header, got %S" keyword header))
+
+let instance_of_string s =
+  match parse_header "dsp" s with
+  | Error e -> Error e
+  | Ok (width, rest) -> (
+      match parse_pairs rest with
+      | Error e -> Error e
+      | Ok dims -> (
+          try Ok (Instance.of_dims ~width dims)
+          with Invalid_argument msg -> Error msg))
+
+let pts_of_string s =
+  match parse_header "pts" s with
+  | Error e -> Error e
+  | Ok (machines, rest) -> (
+      match parse_pairs rest with
+      | Error e -> Error e
+      | Ok dims -> (
+          try Ok (Pts.Inst.of_dims ~machines dims)
+          with Invalid_argument msg -> Error msg))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

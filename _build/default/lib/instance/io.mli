@@ -1,0 +1,17 @@
+(** Plain-text serialization of DSP and PTS instances.
+
+    Format (line oriented; [#] starts a comment):
+    {v
+    dsp <width>
+    <w> <h>        one line per item
+    v}
+    and analogously [pts <machines>] with [<p> <q>] lines. *)
+
+open Dsp_core
+
+val instance_to_string : Instance.t -> string
+val instance_of_string : string -> (Instance.t, string) result
+val pts_to_string : Pts.Inst.t -> string
+val pts_of_string : string -> (Pts.Inst.t, string) result
+val write_file : string -> string -> unit
+val read_file : string -> string

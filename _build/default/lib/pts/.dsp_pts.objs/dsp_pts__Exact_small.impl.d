@@ -1,0 +1,1 @@
+lib/pts/exact_small.ml: Array Dsp_core Dsp_util List Option Pts

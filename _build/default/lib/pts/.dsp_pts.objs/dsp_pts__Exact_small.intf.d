@@ -1,0 +1,1 @@
+lib/pts/exact_small.mli: Dsp_core Pts

@@ -1,0 +1,1 @@
+lib/pts/list_scheduling.ml: Array Dsp_core Dsp_transform List Packing Pts Segtree

@@ -1,0 +1,1 @@
+lib/pts/list_scheduling.mli: Dsp_core Pts

@@ -1,0 +1,1 @@
+lib/pts/moldable.ml: Array Dsp_core Dsp_exact Dsp_util List List_scheduling Pts

@@ -1,0 +1,1 @@
+lib/pts/moldable.mli: Dsp_core Pts

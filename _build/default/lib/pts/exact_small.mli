@@ -1,0 +1,25 @@
+(** Pseudo-polynomial exact PTS for few machines.
+
+    Du and Leung proved PTS solvable in pseudo-polynomial time for
+    m ≤ 3 and strongly NP-hard from m = 4 on — the dividing line the
+    paper's Theorem 1 rides on.  Here:
+
+    - [m = 1]: trivial (sum of processing times).
+    - [m = 2]: exact subset-sum dynamic program — jobs with q = 2 are
+      serial blocks, jobs with q = 1 split into two machine loads
+      whose imbalance the DP minimizes.
+    - [m = 3]: delegated to the branch-and-bound solver
+      ({!Dsp_exact.Pts_exact} lives above this library, so the
+      delegation happens in {!solve}'s caller); this module exposes
+      only the DP cases and {!supported}. *)
+
+open Dsp_core
+
+val supported : Pts.Inst.t -> bool
+(** True when this module solves the instance exactly (m ≤ 2). *)
+
+val optimal_makespan : Pts.Inst.t -> int option
+(** [Some makespan] when {!supported}; [None] otherwise. *)
+
+val solve : Pts.Inst.t -> Pts.Schedule.t option
+(** Witness schedule for the {!optimal_makespan} cases. *)

@@ -1,0 +1,1 @@
+lib/smartgrid/smartgrid.ml: Array Dsp_core Dsp_util Instance List Packing Profile

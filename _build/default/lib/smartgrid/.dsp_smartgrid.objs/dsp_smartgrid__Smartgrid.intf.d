@@ -1,0 +1,1 @@
+lib/smartgrid/smartgrid.mli: Dsp_core Dsp_util Instance Packing Profile

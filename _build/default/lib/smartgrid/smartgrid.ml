@@ -1,0 +1,89 @@
+open Dsp_core
+module Rng = Dsp_util.Rng
+
+let slots_per_day = 96
+
+type appliance = {
+  name : string;
+  duration : int;
+  power : int;
+  daily_probability : float;
+  preferred_slot : int;
+}
+
+(* Durations in 15-minute slots, power in units of 100 W, preferred
+   slots on the 96-slot day (slot 0 = midnight): evening peaks for
+   cooking and media, late-evening for EVs, flexible daytime for white
+   goods. *)
+let catalogue =
+  [
+    { name = "washing-machine"; duration = 8; power = 20; daily_probability = 0.5; preferred_slot = 40 };
+    { name = "tumble-dryer"; duration = 6; power = 25; daily_probability = 0.35; preferred_slot = 48 };
+    { name = "dishwasher"; duration = 7; power = 18; daily_probability = 0.6; preferred_slot = 78 };
+    { name = "ev-charger"; duration = 16; power = 74; daily_probability = 0.4; preferred_slot = 72 };
+    { name = "oven"; duration = 4; power = 30; daily_probability = 0.55; preferred_slot = 70 };
+    { name = "water-heater"; duration = 10; power = 35; daily_probability = 0.7; preferred_slot = 26 };
+    { name = "heat-pump"; duration = 12; power = 28; daily_probability = 0.45; preferred_slot = 60 };
+  ]
+
+type run = { appliance : appliance; arrival : int }
+
+let simulate_day rng ~households =
+  let runs = ref [] in
+  for _ = 1 to households do
+    List.iter
+      (fun app ->
+        if Rng.float rng 1.0 < app.daily_probability then begin
+          (* Triangular-ish arrival noise around the preferred slot. *)
+          let noise = Rng.int_in rng (-8) 8 + Rng.int_in rng (-8) 8 in
+          let arrival =
+            max 0 (min (slots_per_day - app.duration) (app.preferred_slot + noise))
+          in
+          runs := { appliance = app; arrival } :: !runs
+        end)
+      catalogue
+  done;
+  List.rev !runs
+
+let to_instance runs =
+  Instance.of_dims ~width:slots_per_day
+    (List.map (fun r -> (r.appliance.duration, r.appliance.power)) runs)
+
+let naive_packing runs =
+  let inst = to_instance runs in
+  let starts = Array.of_list (List.map (fun r -> r.arrival) runs) in
+  Packing.make inst starts
+
+let quadratic_cost profile =
+  Array.fold_left (fun acc v -> acc + (v * v)) 0 (Profile.to_array profile)
+
+type report = {
+  runs : int;
+  naive_peak : int;
+  scheduled_peak : int;
+  lower_bound : int;
+  reduction_percent : float;
+  naive_cost : int;
+  scheduled_cost : int;
+}
+
+let evaluate runs ~scheduler =
+  let inst = to_instance runs in
+  let naive = naive_packing runs in
+  let scheduled = scheduler inst in
+  let naive_peak = Packing.height naive in
+  let scheduled_peak = Packing.height scheduled in
+  {
+    runs = List.length runs;
+    naive_peak;
+    scheduled_peak;
+    lower_bound = Instance.lower_bound inst;
+    reduction_percent =
+      (if naive_peak = 0 then 0.0
+       else
+         100.0
+         *. float_of_int (naive_peak - scheduled_peak)
+         /. float_of_int naive_peak);
+    naive_cost = quadratic_cost (Packing.profile naive);
+    scheduled_cost = quadratic_cost (Packing.profile scheduled);
+  }

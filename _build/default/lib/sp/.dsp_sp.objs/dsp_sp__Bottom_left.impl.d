@@ -1,0 +1,1 @@
+lib/sp/bottom_left.ml: Array Dsp_core Instance Item List Rect_packing

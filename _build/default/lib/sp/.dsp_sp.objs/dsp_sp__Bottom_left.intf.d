@@ -1,0 +1,1 @@
+lib/sp/bottom_left.mli: Dsp_core Instance Item Rect_packing

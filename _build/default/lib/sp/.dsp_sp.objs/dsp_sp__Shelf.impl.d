@@ -1,0 +1,1 @@
+lib/sp/shelf.ml: Array Dsp_core Dsp_util Instance Item List Rect_packing

@@ -1,0 +1,1 @@
+lib/sp/shelf.mli: Dsp_core Instance Item Rect_packing

@@ -1,0 +1,1 @@
+lib/sp/steinberg.ml: Array Dsp_core Dsp_util Instance Item List Rect_packing Shelf

@@ -1,0 +1,1 @@
+lib/sp/steinberg.mli: Dsp_core Instance Item Rect_packing

@@ -1,0 +1,28 @@
+open Dsp_core
+
+let pack ?(order = Item.compare_by_height_desc) (inst : Instance.t) =
+  let width = inst.Instance.width in
+  let top = Array.make width 0 in
+  let positions = Array.make (Instance.n_items inst) { Rect_packing.x = 0; y = 0 } in
+  let items = Array.to_list inst.Instance.items |> List.sort order in
+  List.iter
+    (fun (it : Item.t) ->
+      let best_x = ref 0 and best_y = ref max_int in
+      for x = 0 to width - it.w do
+        let y = ref 0 in
+        for c = x to x + it.w - 1 do
+          if top.(c) > !y then y := top.(c)
+        done;
+        if !y < !best_y then begin
+          best_y := !y;
+          best_x := x
+        end
+      done;
+      positions.(it.id) <- { Rect_packing.x = !best_x; y = !best_y };
+      for c = !best_x to !best_x + it.w - 1 do
+        top.(c) <- !best_y + it.h
+      done)
+    items;
+  Rect_packing.make inst positions
+
+let height inst = Rect_packing.height (pack inst)

@@ -1,0 +1,15 @@
+(** Skyline bottom-left heuristic for classical Strip Packing.
+
+    Items are processed in non-increasing height order; each item is
+    placed at the position minimizing (support height, x) over all
+    start columns, where the support height of a window is the highest
+    column top inside it.  Because items always rest on the skyline,
+    no floating placements are produced and validity is immediate.  A
+    strong practical baseline for experiments E8 and E12. *)
+
+open Dsp_core
+
+val pack : ?order:(Item.t -> Item.t -> int) -> Instance.t -> Rect_packing.t
+(** Default order is {!Item.compare_by_height_desc}. *)
+
+val height : Instance.t -> int

@@ -1,0 +1,71 @@
+open Dsp_core
+
+let sorted_by_height (inst : Instance.t) =
+  Array.to_list inst.Instance.items |> List.sort Item.compare_by_height_desc
+
+let nfdh_into ~width ~height items =
+  let sorted = List.sort Item.compare_by_height_desc items in
+  let placed = ref [] and leftover = ref [] in
+  let shelf_y = ref 0 and shelf_h = ref 0 and x = ref 0 in
+  List.iter
+    (fun (it : Item.t) ->
+      if it.w > width then leftover := it :: !leftover
+      else begin
+        (* Open a new shelf when the item does not fit horizontally. *)
+        if !x + it.w > width then begin
+          shelf_y := !shelf_y + !shelf_h;
+          shelf_h := 0;
+          x := 0
+        end;
+        if !shelf_y + it.h <= height then begin
+          if !shelf_h = 0 then shelf_h := it.h;
+          placed := (it, { Rect_packing.x = !x; y = !shelf_y }) :: !placed;
+          x := !x + it.w
+        end
+        else leftover := it :: !leftover
+      end)
+    sorted;
+  (List.rev !placed, List.rev !leftover)
+
+let of_placements (inst : Instance.t) placements =
+  let positions = Array.make (Instance.n_items inst) { Rect_packing.x = 0; y = 0 } in
+  List.iter (fun ((it : Item.t), pos) -> positions.(it.id) <- pos) placements;
+  Rect_packing.make inst positions
+
+let nfdh (inst : Instance.t) =
+  let items = sorted_by_height inst in
+  let placed, leftover =
+    nfdh_into ~width:inst.Instance.width ~height:max_int items
+  in
+  assert (leftover = []);
+  of_placements inst placed
+
+type open_shelf = { y : int; h : int; mutable used : int }
+
+let ffdh (inst : Instance.t) =
+  let width = inst.Instance.width in
+  let shelves = ref [] in
+  let top = ref 0 in
+  let placements = ref [] in
+  List.iter
+    (fun (it : Item.t) ->
+      let rec fit = function
+        | [] ->
+            let shelf = { y = !top; h = it.h; used = 0 } in
+            top := !top + it.h;
+            shelves := !shelves @ [ shelf ];
+            shelf
+        | s :: rest ->
+            (* Heights are non-increasing, so [it] fits vertically in
+               every open shelf; only the width can reject it. *)
+            if s.used + it.w <= width then s else fit rest
+      in
+      let s = fit !shelves in
+      placements := (it, { Rect_packing.x = s.used; y = s.y }) :: !placements;
+      s.used <- s.used + it.w)
+    (sorted_by_height inst);
+  of_placements inst !placements
+
+let nfdh_height_bound (inst : Instance.t) =
+  Dsp_util.Xutil.ceil_div (2 * Instance.total_area inst) inst.Instance.width
+  + Instance.max_height inst

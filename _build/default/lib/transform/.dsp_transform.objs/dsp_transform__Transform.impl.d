@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Array Dsp_core Dsp_util Fun Instance Item List Option Packing Printf Pts Slice_layout

@@ -1,0 +1,1 @@
+lib/transform/transform.mli: Dsp_core Instance Packing Pts Slice_layout

@@ -1,0 +1,46 @@
+(** The Theorem 1 transformations between PTS schedules and DSP
+    packings.
+
+    Both directions preserve the objective exactly: a schedule on [m]
+    machines with makespan [T] becomes a packing of height at most [m]
+    in a strip of width [T], and vice versa.  The interesting content
+    is the two repair procedures (Figures 2 and 3 of the paper):
+
+    - PTS → DSP: items inherit the vertical positions of their
+      machines; a job on a non-contiguous machine set has a horizontal
+      gap, which the sweep repairs by re-stacking the affected columns
+      (sorting active items by height, as in the paper).
+    - DSP → PTS: a packing fixes only start columns; the sweep assigns
+      each job a concrete machine set at its start, which is always
+      possible because at most [m] machines are busy at any time. *)
+
+open Dsp_core
+
+type stats = { events : int; repairs : int }
+(** [events] — start-time events swept; [repairs] — events at which
+    the full re-sort of the paper's procedure was needed. *)
+
+val schedule_to_packing : Pts.Schedule.t -> Packing.t
+(** Forget machine assignments; the packing's height is at most the
+    number of machines. *)
+
+val schedule_to_layout : Pts.Schedule.t -> Slice_layout.t * stats
+(** The Figure 2 procedure: start from machine positions, repair
+    horizontal gaps left by non-contiguous machine sets.  The layout
+    height is at most the machine count. *)
+
+val packing_to_schedule :
+  Packing.t -> machines:int -> (Pts.Schedule.t * stats, string) result
+(** The Figure 3 procedure: greedily assign machine sets at start
+    events.  Fails with a diagnostic iff the packing's height exceeds
+    [machines]. *)
+
+val dsp_to_pts_instance : Instance.t -> machines:int -> Pts.Inst.t
+(** Item (w, h) ↦ job (p = w, q = h). *)
+
+val pts_to_dsp_instance : Pts.Inst.t -> width:int -> Instance.t
+(** Job (p, q) ↦ item (w = p, h = q). *)
+
+val roundtrip_schedule : Pts.Schedule.t -> (Pts.Schedule.t, string) result
+(** Schedule → packing → schedule; used by the E3 experiment to show
+    the transformations compose without objective loss. *)

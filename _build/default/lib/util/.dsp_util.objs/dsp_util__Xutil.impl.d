@@ -1,0 +1,1 @@
+lib/util/xutil.ml: Array Format List Unix

@@ -1,0 +1,60 @@
+let sum_by f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+let max_by f xs = List.fold_left (fun acc x -> max acc (f x)) 0 xs
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Xutil.ceil_div: non-positive divisor";
+  if a < 0 then invalid_arg "Xutil.ceil_div: negative dividend";
+  (a + b - 1) / b
+
+let group_sorted eq xs =
+  let rec go acc cur = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | x :: rest -> (
+        match cur with
+        | y :: _ when eq x y -> go acc (x :: cur) rest
+        | _ :: _ -> go (List.rev cur :: acc) [ x ] rest
+        | [] -> go acc [ x ] rest)
+  in
+  match xs with [] -> [] | x :: rest -> go [] [ x ] rest
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let rec drop n xs =
+  if n <= 0 then xs else match xs with [] -> [] | _ :: rest -> drop (n - 1) rest
+
+let range lo hi =
+  let rec go i acc = if i < lo then acc else go (i - 1) (i :: acc) in
+  go (hi - 1) []
+
+let array_max arr =
+  if Array.length arr = 0 then invalid_arg "Xutil.array_max: empty array";
+  Array.fold_left max arr.(0) arr
+
+let binary_search_min lo hi ok =
+  if lo > hi then None
+  else if not (ok hi) then None
+  else
+    let rec go lo hi =
+      (* Invariant: ok hi holds; forall x < lo, not (ok x) unless x was
+         never tested below the initial lo. *)
+      if lo >= hi then hi
+      else
+        let mid = lo + ((hi - lo) / 2) in
+        if ok mid then go lo mid else go (mid + 1) hi
+    in
+    Some (go lo hi)
+
+let timeit f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let pp_int_list fmt xs =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f "; ")
+       Format.pp_print_int)
+    xs

@@ -1,0 +1,34 @@
+(** Small general-purpose helpers shared across the libraries. *)
+
+val sum_by : ('a -> int) -> 'a list -> int
+(** Integer sum of [f] over a list. *)
+
+val max_by : ('a -> int) -> 'a list -> int
+(** Maximum of [f] over a list; 0 on the empty list. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is the smallest [k] with [k * b >= a]; requires
+    [b > 0] and [a >= 0]. *)
+
+val group_sorted : ('a -> 'a -> bool) -> 'a list -> 'a list list
+(** Group adjacent equal elements of an already-sorted list. *)
+
+val take : int -> 'a list -> 'a list
+val drop : int -> 'a list -> 'a list
+
+val range : int -> int -> int list
+(** [range lo hi] is [lo; lo+1; ...; hi-1]. *)
+
+val array_max : int array -> int
+(** Maximum of a non-empty int array. *)
+
+val binary_search_min : int -> int -> (int -> bool) -> int option
+(** [binary_search_min lo hi ok] finds the smallest [x] in [lo..hi]
+    with [ok x], assuming [ok] is monotone (false then true).  Returns
+    [None] if no such value exists. *)
+
+val timeit : (unit -> 'a) -> 'a * float
+(** Run a thunk and return its result with elapsed wall-clock
+    seconds. *)
+
+val pp_int_list : Format.formatter -> int list -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Dsp_core Dsp_pts Format Instance Packing Pts QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Array Dsp_algo Dsp_core Dsp_exact Dsp_instance Dsp_util Helpers Instance Item List Packing Profile Result

@@ -1,0 +1,1 @@
+test/test_augment.ml: Dsp_augment Dsp_core Dsp_exact Helpers Instance Packing Pts Result

@@ -1,0 +1,1 @@
+test/test_boxes.ml: Alcotest Dsp_algo Dsp_core Dsp_util Helpers Instance List Packing Result

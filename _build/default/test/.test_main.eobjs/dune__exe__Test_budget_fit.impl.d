@@ -1,0 +1,1 @@
+test/test_budget_fit.ml: Alcotest Array Dsp_algo Dsp_core Dsp_util Helpers Instance Item List Profile QCheck

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Dsp_core Dsp_exact Helpers Instance Item

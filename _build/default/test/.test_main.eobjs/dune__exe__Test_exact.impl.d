@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Dsp_core Dsp_exact Dsp_instance Dsp_pts Dsp_util Helpers Instance Item List Packing Profile Pts QCheck Rect_packing Result

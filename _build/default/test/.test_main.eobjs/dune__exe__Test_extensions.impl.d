@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dsp_algo Dsp_core Dsp_exact Dsp_pts Helpers Instance List Packing Printf Pts QCheck Result String

@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Dsp_core Dsp_exact Dsp_instance Dsp_util Helpers Instance Item List Pts QCheck Result

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Dsp_lp Dsp_util Helpers List Printf QCheck String

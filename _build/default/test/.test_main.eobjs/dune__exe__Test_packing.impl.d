@@ -1,0 +1,1 @@
+test/test_packing.ml: Alcotest Array Dsp_algo Dsp_core Dsp_util Helpers Instance Item List Packing Result Slice_layout String

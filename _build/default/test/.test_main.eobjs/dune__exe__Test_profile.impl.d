@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Dsp_core Helpers Instance Item List Printf Profile QCheck Segtree String

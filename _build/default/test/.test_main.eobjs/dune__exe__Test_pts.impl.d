@@ -1,0 +1,1 @@
+test/test_pts.ml: Alcotest Dsp_core Dsp_exact Dsp_pts Helpers List Pts QCheck Result

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Dsp_util Helpers QCheck

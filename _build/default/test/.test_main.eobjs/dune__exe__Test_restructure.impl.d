@@ -1,0 +1,1 @@
+test/test_restructure.ml: Alcotest Array Dsp_algo Dsp_core Dsp_util Helpers Item List QCheck Result

@@ -1,0 +1,1 @@
+test/test_smartgrid.ml: Alcotest Array Dsp_algo Dsp_core Dsp_smartgrid Dsp_util Helpers List Packing Profile QCheck Result

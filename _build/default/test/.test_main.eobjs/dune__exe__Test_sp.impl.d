@@ -1,0 +1,1 @@
+test/test_sp.ml: Alcotest Array Dsp_core Dsp_sp Dsp_util Helpers Instance Item List Packing Rect_packing Result

@@ -1,0 +1,1 @@
+test/test_tall_assignment.ml: Alcotest Array Dsp_algo Dsp_core Dsp_util Item List Printf QCheck

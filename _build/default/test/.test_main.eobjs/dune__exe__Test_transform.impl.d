@@ -1,0 +1,1 @@
+test/test_transform.ml: Array Dsp_algo Dsp_core Dsp_exact Dsp_pts Dsp_transform Helpers Instance Packing Pts QCheck Result Slice_layout

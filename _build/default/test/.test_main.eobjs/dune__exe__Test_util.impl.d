@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dsp_util Fun Helpers List QCheck

@@ -1,0 +1,64 @@
+(* Tests for the executable structural lemmas (Boxes). *)
+
+open Dsp_core
+module Rat = Dsp_util.Rat
+
+let with_params inst f =
+  let target = max 1 (Instance.lower_bound inst) in
+  let p = Dsp_algo.Classify.choose_params inst ~target ~eps:(Rat.make 1 4) in
+  f target p
+
+let suite =
+  [
+    Helpers.qtest "snapping keeps packings valid"
+      (Helpers.instance_arb ~max_width:20 ~max_n:12 ()) (fun inst ->
+        let pk = Dsp_algo.Baselines.best_fit_decreasing inst in
+        with_params inst (fun _ p ->
+            let snapped, _ = Dsp_algo.Boxes.snap_horizontal_starts pk p in
+            Result.is_ok (Packing.validate snapped)));
+    Helpers.qtest "snapping respects the start-point bound"
+      (Helpers.instance_arb ~max_width:30 ~max_n:15 ~max_h:4 ()) (fun inst ->
+        let pk = Dsp_algo.Baselines.best_fit_decreasing inst in
+        with_params inst (fun _ p ->
+            let _, points = Dsp_algo.Boxes.snap_horizontal_starts pk p in
+            let s = Dsp_algo.Boxes.partition_stats pk p in
+            points <= s.Dsp_algo.Boxes.horizontal_start_bound
+            || (* the bound counts grid points; items can never use
+                  more grid points than exist *)
+            points
+               <= (inst.Instance.width
+                  / max 1
+                      (Rat.floor
+                         Rat.(
+                           mul
+                             (mul p.Dsp_algo.Classify.eps p.Dsp_algo.Classify.delta)
+                             (of_int inst.Instance.width))))
+                  + 1));
+    Helpers.qtest "partition stats are internally consistent"
+      (Helpers.instance_arb ~max_width:20 ~max_n:12 ()) (fun inst ->
+        let pk = Dsp_algo.Baselines.best_fit_decreasing inst in
+        with_params inst (fun _ p ->
+            let s = Dsp_algo.Boxes.partition_stats pk p in
+            s.Dsp_algo.Boxes.peak_after >= Instance.lower_bound inst
+            && s.Dsp_algo.Boxes.n_tall_vertical_boxes >= 1
+            && s.Dsp_algo.Boxes.n_large_boxes >= 0
+            && s.Dsp_algo.Boxes.tv_box_bound > 0));
+    Alcotest.test_case "horizontal boxes cover all horizontal items" `Quick
+      (fun () ->
+        (* Tall towers make the optimum large so the flats classify
+           as horizontal; every flat must land in some box. *)
+        let inst =
+          Instance.of_dims ~width:24
+            ([ (2, 70); (3, 66); (2, 68) ] @ List.init 5 (fun _ -> (14, 1)))
+        in
+        let pk = Dsp_algo.Baselines.best_fit_decreasing inst in
+        with_params inst (fun _ p ->
+            let cls = Dsp_algo.Classify.classify inst p in
+            let n_horizontal = List.length cls.Dsp_algo.Classify.horizontal in
+            let s = Dsp_algo.Boxes.partition_stats pk p in
+            Alcotest.check Alcotest.bool "flats are horizontal" true
+              (n_horizontal >= 1);
+            Alcotest.check Alcotest.bool "boxes exist" true
+              (s.Dsp_algo.Boxes.n_horizontal_boxes >= 1
+              && s.Dsp_algo.Boxes.n_horizontal_boxes <= n_horizontal)));
+  ]

@@ -1,0 +1,159 @@
+open Dsp_core
+
+(* Brute-force references for differential testing. *)
+
+let brute_dsp_opt inst =
+  let n = Instance.n_items inst in
+  let width = inst.Instance.width in
+  let starts = Array.make n 0 in
+  let best = ref max_int in
+  let rec go k =
+    if k = n then begin
+      let h = Profile.peak (Profile.of_starts inst starts) in
+      if h < !best then best := h
+    end
+    else
+      let it = Instance.item inst k in
+      for s = 0 to width - it.Item.w do
+        starts.(k) <- s;
+        go (k + 1)
+      done
+  in
+  go 0;
+  !best
+
+let dsp_bb_tests =
+  [
+    Helpers.qtest ~count:60 "branch and bound matches brute force"
+      (Helpers.tiny_instance_arb ()) (fun inst ->
+        QCheck.assume (Instance.n_items inst <= 5);
+        match Dsp_exact.Dsp_bb.optimal_height inst with
+        | Some h -> h = brute_dsp_opt inst
+        | None -> true);
+    Helpers.qtest "decision monotone in the height"
+      (Helpers.tiny_instance_arb ()) (fun inst ->
+        match Dsp_exact.Dsp_bb.optimal_height inst with
+        | None -> true
+        | Some opt -> (
+            (match Dsp_exact.Dsp_bb.decide inst ~height:(opt - 1) with
+            | Dsp_exact.Dsp_bb.Infeasible -> true
+            | _ -> false)
+            &&
+            match Dsp_exact.Dsp_bb.decide inst ~height:(opt + 1) with
+            | Dsp_exact.Dsp_bb.Feasible pk ->
+                Result.is_ok (Packing.validate pk) && Packing.height pk <= opt + 1
+            | _ -> false));
+    Alcotest.test_case "solves the empty instance" `Quick (fun () ->
+        let inst = Instance.make ~width:3 [||] in
+        Alcotest.check (Alcotest.option Alcotest.int) "zero" (Some 0)
+          (Dsp_exact.Dsp_bb.optimal_height inst));
+    Alcotest.test_case "known optimum" `Quick (fun () ->
+        (* Three 2x2 squares in width 4: two side by side + one on
+           top -> peak 4. *)
+        let inst = Instance.of_dims ~width:4 [ (2, 2); (2, 2); (2, 2) ] in
+        Alcotest.check (Alcotest.option Alcotest.int) "peak 4" (Some 4)
+          (Dsp_exact.Dsp_bb.optimal_height inst));
+  ]
+
+let sp_exact_tests =
+  [
+    Helpers.qtest ~count:40 "sp optimum >= dsp optimum"
+      (Helpers.tiny_instance_arb ()) (fun inst ->
+        match
+          (Dsp_exact.Sp_exact.optimal_height inst, Dsp_exact.Dsp_bb.optimal_height inst)
+        with
+        | Some sp, Some dsp -> sp >= dsp
+        | _ -> true);
+    Helpers.qtest ~count:40 "sp witness is a valid rectangle packing"
+      (Helpers.tiny_instance_arb ()) (fun inst ->
+        match Dsp_exact.Sp_exact.solve inst with
+        | Some pk -> Result.is_ok (Rect_packing.validate pk)
+        | None -> true);
+    Helpers.qtest ~count:40 "y_feasible agrees with the witness height"
+      (Helpers.tiny_instance_arb ()) (fun inst ->
+        match Dsp_exact.Sp_exact.solve inst with
+        | None -> true
+        | Some pk ->
+            let h = Rect_packing.height pk in
+            let starts =
+              Array.init (Instance.n_items inst) (fun i ->
+                  (Rect_packing.position pk i).Rect_packing.x)
+            in
+            Dsp_exact.Sp_exact.y_feasible inst ~starts ~height:h <> None);
+  ]
+
+let three_partition_tests =
+  [
+    Alcotest.test_case "solves a hand-built yes instance" `Quick (fun () ->
+        (* B = 12; triples (5,4,3) twice, disguised by shuffling. *)
+        let numbers = [| 5; 4; 4; 3; 5; 3 |] in
+        match Dsp_exact.Three_partition.solve ~numbers ~bound:12 with
+        | None -> Alcotest.fail "should be solvable"
+        | Some triples ->
+            Alcotest.check Alcotest.int "two triples" 2 (Array.length triples);
+            Array.iter
+              (fun (a, b, c) ->
+                Alcotest.check Alcotest.int "sum" 12
+                  (numbers.(a) + numbers.(b) + numbers.(c)))
+              triples);
+    Alcotest.test_case "rejects a no instance" `Quick (fun () ->
+        (* Sum = 2B but every triple mixing 6s and 2s sums to 14 or
+           10, never 12. *)
+        let numbers = [| 6; 6; 6; 2; 2; 2 |] in
+        Alcotest.check Alcotest.bool "unsolvable" false
+          (Dsp_exact.Three_partition.solvable ~numbers ~bound:12));
+    Helpers.qtest ~count:30 "generated yes instances are solvable"
+      (QCheck.make QCheck.Gen.(pair (int_range 2 4) (int_range 0 1000)))
+      (fun (k, seed) ->
+        let rng = Dsp_util.Rng.create seed in
+        let tp = Dsp_instance.Hardness.yes_instance rng ~k ~bound:16 in
+        Dsp_exact.Three_partition.solvable ~numbers:tp.Dsp_instance.Hardness.numbers
+          ~bound:16);
+  ]
+
+let pts_exact_tests =
+  [
+    Helpers.qtest ~count:30 "exact schedules are valid and optimal-looking"
+      (Helpers.pts_arb ~max_m:4 ~max_n:6 ~max_p:4 ()) (fun inst ->
+        match Dsp_exact.Pts_exact.solve ~node_limit:400_000 inst with
+        | None -> true
+        | Some sched ->
+            Result.is_ok (Pts.Schedule.validate sched)
+            && Pts.Schedule.makespan sched >= Pts.Inst.lower_bound inst
+            && Pts.Schedule.makespan sched
+               <= Dsp_pts.List_scheduling.makespan inst);
+    Alcotest.test_case "known schedule optimum" `Quick (fun () ->
+        (* 2 machines, jobs (2,2), (1,1), (1,1): block 2 then both
+           singles in parallel -> makespan 3. *)
+        let inst = Pts.Inst.of_dims ~machines:2 [ (2, 2); (1, 1); (1, 1) ] in
+        Alcotest.check (Alcotest.option Alcotest.int) "makespan" (Some 3)
+          (Dsp_exact.Pts_exact.optimal_makespan inst));
+  ]
+
+let gap_tests =
+  [
+    Alcotest.test_case "gap family has the advertised optima" `Slow (fun () ->
+        let inst = Dsp_instance.Gap_family.instance ~scale:1 in
+        Alcotest.check (Alcotest.option Alcotest.int) "dsp"
+          (Some (Dsp_instance.Gap_family.expected_dsp_opt ~scale:1))
+          (Dsp_exact.Dsp_bb.optimal_height inst);
+        Alcotest.check (Alcotest.option Alcotest.int) "sp"
+          (Some (Dsp_instance.Gap_family.expected_sp_opt ~scale:1))
+          (Dsp_exact.Sp_exact.optimal_height inst));
+    Alcotest.test_case "all witnesses have a strict gap" `Slow (fun () ->
+        List.iter
+          (fun inst ->
+            match
+              ( Dsp_exact.Dsp_bb.optimal_height inst,
+                Dsp_exact.Sp_exact.optimal_height inst )
+            with
+            | Some dsp, Some sp ->
+                if sp <= dsp then
+                  Alcotest.failf "expected a gap, got sp=%d dsp=%d" sp dsp
+            | _ -> Alcotest.fail "exact solver exhausted")
+          Dsp_instance.Gap_family.slicing_wins);
+  ]
+
+let suite =
+  dsp_bb_tests @ sp_exact_tests @ three_partition_tests @ pts_exact_tests
+  @ gap_tests

@@ -1,0 +1,121 @@
+open Dsp_core
+module Gen = Dsp_instance.Generators
+module Hardness = Dsp_instance.Hardness
+module Io = Dsp_instance.Io
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100_000)
+
+let generator_tests =
+  [
+    Helpers.qtest "uniform respects its bounds" seed_arb (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let inst = Gen.uniform rng ~n:20 ~width:30 ~max_w:10 ~max_h:7 in
+        Instance.n_items inst = 20
+        && Array.for_all
+             (fun (it : Item.t) -> it.Item.w <= 10 && it.Item.h <= 7)
+             inst.Instance.items);
+    Helpers.qtest "correlated respects its bounds" seed_arb (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let inst = Gen.correlated rng ~n:15 ~width:30 ~max_w:10 ~max_h:9 in
+        Array.for_all
+          (fun (it : Item.t) ->
+            it.Item.w >= 1 && it.Item.w <= 10 && it.Item.h >= 1 && it.Item.h <= 9)
+          inst.Instance.items);
+    Helpers.qtest "perfect_fit tiles the full rectangle" seed_arb (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let inst = Gen.perfect_fit rng ~width:12 ~height:9 ~cuts:10 in
+        Instance.total_area inst = 12 * 9);
+    Helpers.qtest "perfect_fit has optimum equal to its height" seed_arb
+      (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let inst = Gen.perfect_fit rng ~width:8 ~height:6 ~cuts:5 in
+        QCheck.assume (Instance.n_items inst <= 7);
+        match Dsp_exact.Dsp_bb.optimal_height ~node_limit:500_000 inst with
+        | Some opt -> opt = 6
+        | None -> true);
+    Helpers.qtest "dsp/pts instance maps are inverse" seed_arb (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let pts = Gen.uniform_pts rng ~n:10 ~machines:5 ~max_p:6 in
+        let dsp = Gen.dsp_of_pts pts ~horizon:10 in
+        let back = Gen.pts_of_dsp dsp ~height:5 in
+        Array.for_all2
+          (fun (a : Pts.Job.t) (b : Pts.Job.t) -> a.p = b.p && a.q = b.q)
+          pts.Pts.Inst.jobs back.Pts.Inst.jobs);
+  ]
+
+let hardness_tests =
+  [
+    Helpers.qtest "yes instances satisfy the 3-partition window" seed_arb
+      (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let tp = Hardness.yes_instance rng ~k:4 ~bound:20 in
+        Array.for_all (fun a -> (4 * a) > 20 && 2 * a < 20) tp.Hardness.numbers
+        && Array.fold_left ( + ) 0 tp.Hardness.numbers = 4 * 20);
+    Helpers.qtest "witness schedules hit the target makespan exactly" seed_arb
+      (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let tp = Hardness.yes_instance rng ~k:3 ~bound:16 in
+        match
+          Dsp_exact.Three_partition.solve ~numbers:tp.Hardness.numbers ~bound:16
+        with
+        | None -> false
+        | Some triples ->
+            let sched = Hardness.schedule_of_partition tp ~triples in
+            Result.is_ok (Pts.Schedule.validate sched)
+            && Pts.Schedule.makespan sched = Hardness.target_makespan tp);
+    Helpers.qtest "the DSP encoding is area-tight at height 4" seed_arb
+      (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let tp = Hardness.yes_instance rng ~k:3 ~bound:12 in
+        let dsp = Hardness.to_dsp tp in
+        Instance.total_area dsp = 4 * dsp.Instance.width);
+    Helpers.qtest ~count:20 "yes instances pack to exactly height 4" seed_arb
+      (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let tp = Hardness.yes_instance rng ~k:2 ~bound:12 in
+        let dsp = Hardness.to_dsp tp in
+        match Dsp_exact.Dsp_bb.optimal_height ~node_limit:2_000_000 dsp with
+        | Some h -> h = 4
+        | None -> true);
+  ]
+
+let io_tests =
+  [
+    Helpers.qtest "instance round-trips through the text format"
+      (Helpers.instance_arb ()) (fun inst ->
+        match Io.instance_of_string (Io.instance_to_string inst) with
+        | Ok inst' -> Instance.equal inst inst'
+        | Error _ -> false);
+    Helpers.qtest "pts round-trips through the text format" (Helpers.pts_arb ())
+      (fun inst ->
+        match Io.pts_of_string (Io.pts_to_string inst) with
+        | Ok inst' ->
+            inst'.Pts.Inst.machines = inst.Pts.Inst.machines
+            && Array.for_all2
+                 (fun (a : Pts.Job.t) (b : Pts.Job.t) -> a.p = b.p && a.q = b.q)
+                 inst.Pts.Inst.jobs inst'.Pts.Inst.jobs
+        | Error _ -> false);
+    Alcotest.test_case "parser rejects malformed input" `Quick (fun () ->
+        List.iter
+          (fun text ->
+            Alcotest.check Alcotest.bool text true
+              (Result.is_error (Io.instance_of_string text)))
+          [ ""; "dsp"; "dsp x"; "dsp 5\n1"; "dsp 5\n1 2 3"; "pts 5\n1 2" ]);
+    Alcotest.test_case "parser skips comments and blanks" `Quick (fun () ->
+        let text = "# a comment\ndsp 6\n\n2 3\n# another\n1 1\n" in
+        match Io.instance_of_string text with
+        | Ok inst -> Alcotest.check Alcotest.int "items" 2 (Instance.n_items inst)
+        | Error e -> Alcotest.fail e);
+  ]
+
+let gap_family_tests =
+  [
+    Alcotest.test_case "gap family scales" `Quick (fun () ->
+        let inst = Dsp_instance.Gap_family.instance ~scale:3 in
+        Alcotest.check Alcotest.int "heights scaled" 12
+          (Instance.max_height inst);
+        Alcotest.check Alcotest.int "expected dsp" 18
+          (Dsp_instance.Gap_family.expected_dsp_opt ~scale:3));
+  ]
+
+let suite = generator_tests @ hardness_tests @ io_tests @ gap_family_tests

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "demand-strip-packing"
+    [
+      ("rat", Test_rat.suite);
+      ("util", Test_util.suite);
+      ("core", Test_core.suite);
+      ("profile", Test_profile.suite);
+      ("packing", Test_packing.suite);
+      ("pts", Test_pts.suite);
+      ("sp", Test_sp.suite);
+      ("transform", Test_transform.suite);
+      ("exact", Test_exact.suite);
+      ("lp", Test_lp.suite);
+      ("instance", Test_instance.suite);
+      ("algo", Test_algo.suite);
+      ("augment", Test_augment.suite);
+      ("smartgrid", Test_smartgrid.suite);
+      ("extensions", Test_extensions.suite);
+      ("boxes", Test_boxes.suite);
+      ("tall-assignment", Test_tall_assignment.suite);
+      ("restructure", Test_restructure.suite);
+      ("budget-fit", Test_budget_fit.suite);
+    ]

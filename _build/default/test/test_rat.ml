@@ -1,0 +1,77 @@
+module Rat = Dsp_util.Rat
+
+let rat_arb =
+  QCheck.make
+    ~print:(fun r -> Rat.to_string r)
+    QCheck.Gen.(
+      let* n = int_range (-1000) 1000 in
+      let* d = int_range 1 1000 in
+      return (Rat.make n d))
+
+let check_rat = Alcotest.testable Rat.pp Rat.equal
+
+let unit_tests =
+  [
+    Alcotest.test_case "normalization" `Quick (fun () ->
+        Alcotest.check check_rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+        Alcotest.check check_rat "neg den" (Rat.make (-1) 2) (Rat.make 1 (-2));
+        Alcotest.check Alcotest.int "num" 3 (Rat.num (Rat.make 6 4));
+        Alcotest.check Alcotest.int "den" 2 (Rat.den (Rat.make 6 4)));
+    Alcotest.test_case "zero denominator rejected" `Quick (fun () ->
+        Alcotest.check_raises "div by zero" Rat.Division_by_zero (fun () ->
+            ignore (Rat.make 1 0)));
+    Alcotest.test_case "floor and ceil" `Quick (fun () ->
+        Alcotest.check Alcotest.int "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+        Alcotest.check Alcotest.int "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+        Alcotest.check Alcotest.int "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+        Alcotest.check Alcotest.int "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+        Alcotest.check Alcotest.int "floor 4" 4 (Rat.floor (Rat.of_int 4)));
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        let a = Rat.make 1 3 and b = Rat.make 1 6 in
+        Alcotest.check check_rat "1/3+1/6" (Rat.make 1 2) (Rat.add a b);
+        Alcotest.check check_rat "1/3-1/6" (Rat.make 1 6) (Rat.sub a b);
+        Alcotest.check check_rat "1/3*1/6" (Rat.make 1 18) (Rat.mul a b);
+        Alcotest.check check_rat "1/3 / 1/6" (Rat.of_int 2) (Rat.div a b));
+    Alcotest.test_case "of_float_approx" `Quick (fun () ->
+        Alcotest.check check_rat "0.5" (Rat.make 1 2) (Rat.of_float_approx 0.5);
+        Alcotest.check check_rat "0.25" (Rat.make 1 4) (Rat.of_float_approx 0.25);
+        Alcotest.check check_rat "2.0" (Rat.of_int 2) (Rat.of_float_approx 2.0));
+    Alcotest.test_case "overflow detected" `Quick (fun () ->
+        let big = Rat.make max_int 1 in
+        Alcotest.check_raises "mul overflow" Rat.Overflow (fun () ->
+            ignore (Rat.mul big big)));
+  ]
+
+let property_tests =
+  [
+    Helpers.qtest "add commutative" (QCheck.pair rat_arb rat_arb) (fun (a, b) ->
+        Rat.equal (Rat.add a b) (Rat.add b a));
+    Helpers.qtest "mul commutative" (QCheck.pair rat_arb rat_arb) (fun (a, b) ->
+        Rat.equal (Rat.mul a b) (Rat.mul b a));
+    Helpers.qtest "add associative"
+      (QCheck.triple rat_arb rat_arb rat_arb)
+      (fun (a, b, c) ->
+        Rat.equal (Rat.add a (Rat.add b c)) (Rat.add (Rat.add a b) c));
+    Helpers.qtest "distributivity"
+      (QCheck.triple rat_arb rat_arb rat_arb)
+      (fun (a, b, c) ->
+        Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)));
+    Helpers.qtest "sub then add roundtrip" (QCheck.pair rat_arb rat_arb)
+      (fun (a, b) -> Rat.equal a (Rat.add (Rat.sub a b) b));
+    Helpers.qtest "inv involutive" rat_arb (fun a ->
+        QCheck.assume (Rat.sign a <> 0);
+        Rat.equal a (Rat.inv (Rat.inv a)));
+    Helpers.qtest "floor <= x < floor+1" rat_arb (fun a ->
+        let f = Rat.floor a in
+        let f1 = f + 1 in
+        Rat.(of_int f <= a) && Rat.(a < of_int f1));
+    Helpers.qtest "ceil is -floor(-x)" rat_arb (fun a ->
+        Rat.ceil a = -Rat.floor (Rat.neg a));
+    Helpers.qtest "compare antisymmetric" (QCheck.pair rat_arb rat_arb)
+      (fun (a, b) -> Rat.compare a b = -Rat.compare b a);
+    Helpers.qtest "to_float consistent with compare"
+      (QCheck.pair rat_arb rat_arb) (fun (a, b) ->
+        if Rat.compare a b < 0 then Rat.to_float a <= Rat.to_float b else true);
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,115 @@
+(* Tests for the Lemma 6/7 box restructuring. *)
+
+open Dsp_core
+module R = Dsp_algo.Restructure
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100_000)
+
+(* Random feasible low box: tall items pairwise disjoint. *)
+let random_low_box rng ~box_len =
+  let items = ref [] in
+  let x = ref 0 and id = ref 0 in
+  while !x < box_len - 1 do
+    let w = Dsp_util.Rng.int_in rng 1 (max 1 (box_len / 3)) in
+    if !x + w <= box_len then begin
+      if Dsp_util.Rng.bool rng then begin
+        items := (Item.make ~id:!id ~w ~h:(Dsp_util.Rng.int_in rng 3 8), !x) :: !items;
+        incr id
+      end;
+      x := !x + w
+    end
+    else x := box_len
+  done;
+  !items
+
+(* Random feasible mid box: at most two tall items per column. *)
+let random_mid_box rng ~box_len ~box_height =
+  let cap = Array.make box_len 0 in
+  let load = Array.make box_len 0 in
+  let items = ref [] and id = ref 0 in
+  for _ = 1 to 7 do
+    let w = Dsp_util.Rng.int_in rng 1 (max 1 (box_len / 2)) in
+    let h = Dsp_util.Rng.int_in rng (1 + (box_height / 4)) (box_height - 1) in
+    let rec try_start s =
+      if s + w > box_len then ()
+      else begin
+        let ok = ref true in
+        for x = s to s + w - 1 do
+          if cap.(x) + 1 > 2 || load.(x) + h > box_height then ok := false
+        done;
+        if !ok then begin
+          for x = s to s + w - 1 do
+            cap.(x) <- cap.(x) + 1;
+            load.(x) <- load.(x) + h
+          done;
+          items := (Item.make ~id:!id ~w ~h, s) :: !items;
+          incr id
+        end
+        else try_start (s + 1)
+      end
+    in
+    try_start 0
+  done;
+  !items
+
+let suite =
+  [
+    Helpers.qtest ~count:150 "Lemma 6 sorting verifies on random low boxes"
+      seed_arb (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let box_len = Dsp_util.Rng.int_in rng 6 24 in
+        let items = random_low_box rng ~box_len in
+        match items with
+        | [] -> true
+        | items ->
+            let r = R.sort_low_box ~box_len ~items in
+            Result.is_ok (R.verify_low ~box_len ~box_height:10 ~items r));
+    Helpers.qtest ~count:150 "Lemma 6 sorting groups equal heights"
+      seed_arb (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let box_len = Dsp_util.Rng.int_in rng 6 24 in
+        let items = random_low_box rng ~box_len in
+        match items with
+        | [] -> true
+        | items ->
+            let r = R.sort_low_box ~box_len ~items in
+            let distinct =
+              List.map (fun ((it : Item.t), _) -> it.Item.h) items
+              |> List.sort_uniq compare |> List.length
+            in
+            r.R.tall_boxes = distinct);
+    Helpers.qtest ~count:150 "Lemma 7 sorting verifies on random mid boxes"
+      seed_arb (fun seed ->
+        let rng = Dsp_util.Rng.create seed in
+        let box_len = Dsp_util.Rng.int_in rng 6 20 in
+        let box_height = Dsp_util.Rng.int_in rng 8 16 in
+        let quarter = box_height / 3 in
+        let items = random_mid_box rng ~box_len ~box_height in
+        match items with
+        | [] -> true
+        | items -> (
+            match R.sort_mid_box ~box_len ~box_height ~quarter ~items with
+            | r -> Result.is_ok (R.verify_mid ~box_len ~box_height ~items r)
+            | exception Invalid_argument _ -> false));
+    Alcotest.test_case "Lemma 7 rejects triple stacking" `Quick (fun () ->
+        let items =
+          [ (Item.make ~id:0 ~w:2 ~h:2, 0); (Item.make ~id:1 ~w:2 ~h:2, 0);
+            (Item.make ~id:2 ~w:2 ~h:2, 0) ]
+        in
+        Alcotest.check Alcotest.bool "raises" true
+          (try
+             ignore (R.sort_mid_box ~box_len:4 ~box_height:9 ~quarter:3 ~items);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "Lemma 6 on a hand-built box" `Quick (fun () ->
+        (* Heights 5, 3, 5 with gaps: sorted arrangement is 5,5,3 from
+           the left; two height-runs. *)
+        let items =
+          [ (Item.make ~id:0 ~w:2 ~h:5, 1); (Item.make ~id:1 ~w:3 ~h:3, 4);
+            (Item.make ~id:2 ~w:1 ~h:5, 9) ]
+        in
+        let r = R.sort_low_box ~box_len:12 ~items in
+        Alcotest.check Alcotest.int "two runs" 2 r.R.tall_boxes;
+        Alcotest.check (Alcotest.option Alcotest.int) "tallest leftmost" (Some 0)
+          (List.assoc_opt 0 r.R.starts));
+  ]
