@@ -1,0 +1,67 @@
+(* Machine-readable benchmark output.
+
+   Experiments register metrics (wall-clock seconds, peak heights,
+   node counts, speedups) under their experiment id while they run;
+   the harness then serializes everything to BENCH.json so later PRs
+   have a perf trajectory to regress against.  Hand-rolled writer: the
+   container has no JSON library and the format is flat. *)
+
+type value = Int of int | Float of float | String of string | Bool of bool
+
+(* Insertion-ordered: experiment ids in run order, metrics in record
+   order within an experiment. *)
+let experiments : (string * (string * value) list ref) list ref = ref []
+
+let clear () = experiments := []
+
+let record ~experiment key value =
+  let row =
+    match List.assoc_opt experiment !experiments with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        experiments := !experiments @ [ (experiment, r) ];
+        r
+  in
+  row := !row @ [ (key, value) ]
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+  | String s -> Printf.sprintf "\"%s\"" (escape s)
+  | Bool b -> if b then "true" else "false"
+
+let write path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"dsp-bench/1\",\n  \"experiments\": [";
+  List.iteri
+    (fun i (id, metrics) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\n    {\n      \"id\": \"%s\"" (escape id));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\n      \"%s\": %s" (escape k) (value_to_string v)))
+        !metrics;
+      Buffer.add_string buf "\n    }")
+    !experiments;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc

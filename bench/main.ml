@@ -2,9 +2,17 @@
    reproduction (see DESIGN.md section 4 and EXPERIMENTS.md).
 
    Usage:
-     dune exec bench/main.exe             # all experiments E1-E12 + micro
-     dune exec bench/main.exe -- E8 E10   # a subset
-     dune exec bench/main.exe -- micro    # bechamel micro-benchmarks only *)
+     dune exec bench/main.exe                 # all experiments + kernel + micro
+     dune exec bench/main.exe -- E8 E10       # a subset
+     dune exec bench/main.exe -- kernel       # packing-kernel ablation only
+     dune exec bench/main.exe -- kernel-smoke # tiny kernel run for CI
+     dune exec bench/main.exe -- micro        # bechamel micro-benchmarks only
+
+   Every run also writes BENCH.json (override the path with the
+   BENCH_JSON environment variable): per-experiment wall-clock plus
+   the metrics individual experiments record (kernel speedups and
+   peaks, E4 node counts), so subsequent changes have a machine-
+   readable perf baseline to regress against. *)
 
 open Dsp_core
 module Rng = Dsp_util.Rng
@@ -116,6 +124,8 @@ let e4 () =
       | Some (pk, nodes) -> (string_of_int (Packing.height pk), nodes)
       | None -> ("?", 50_000_000)
     in
+    Bench_json.record ~experiment:"E4" (name ^ ".bb_nodes") (Bench_json.Int bb_nodes);
+    Bench_json.record ~experiment:"E4" (name ^ ".tp_nodes") (Bench_json.Int tp_nodes);
     let h algo = Packing.height (algo dsp) in
     Printf.printf "%-18s %5s %5s %9d %11d %6d %6d %6d\n" name
       (if solvable then "yes" else "no")
@@ -547,6 +557,115 @@ let e15 () =
         (float_of_int !swaps /. float_of_int (max 1 !total)))
     [ 2; 3; 4; 5 ]
 
+(* kernel: ablation of the segment-tree packing kernel against the
+   naive flat-array profile on identical workloads.  Best-fit
+   decreasing is the acceptance metric (the kernel replaces an
+   O(W * w) scan per item by an O(W) sliding-window maximum); first
+   fit additionally exercises the skip-ahead descent.  Both sides
+   place items in the same order with the same tie-breaks, so the
+   resulting peaks must agree exactly. *)
+let kernel_at ~experiment widths () =
+  section "kernel" "segment-tree packing kernel vs naive profile (same placements)";
+  Printf.printf "%-8s %6s | %11s %11s %8s | %11s %11s %8s | %6s\n" "W" "n"
+    "bfd-naive" "bfd-kernel" "speedup" "ff-naive" "ff-kernel" "speedup" "peak";
+  List.iter
+    (fun w ->
+      let n = max 40 (w / 16) in
+      let rng = Rng.create (555 + w) in
+      let inst =
+        Dsp_instance.Generators.uniform rng ~n ~width:w ~max_w:(max 2 (w / 10))
+          ~max_h:50
+      in
+      let order =
+        Array.to_list inst.Instance.items |> List.sort Item.compare_by_height_desc
+      in
+      (* Best-fit decreasing, naive reference: full window scan per start. *)
+      let bfd_naive () =
+        let p = Profile.Naive.create w in
+        List.iter
+          (fun (it : Item.t) ->
+            let best = ref 0 and best_peak = ref max_int in
+            for s = 0 to w - it.Item.w do
+              let pk = Profile.Naive.peak_in p ~start:s ~len:it.Item.w in
+              if pk < !best_peak then begin
+                best_peak := pk;
+                best := s
+              end
+            done;
+            Profile.Naive.add_item p it ~start:!best)
+          order;
+        Profile.Naive.peak p
+      in
+      let bfd_kernel () =
+        let st = Dsp_algo.Budget_fit.create inst in
+        List.iter
+          (fun it -> ignore (Dsp_algo.Budget_fit.best_fit st it ~budget:max_int))
+          order;
+        Dsp_algo.Budget_fit.peak st
+      in
+      let kernel_peak, bfd_kernel_s = Dsp_util.Xutil.timeit bfd_kernel in
+      let naive_peak, bfd_naive_s = Dsp_util.Xutil.timeit bfd_naive in
+      (* First fit under a finite budget (the greedy peak), naive s+1
+         stepping vs kernel skip-ahead; same budget, same order. *)
+      let budget = kernel_peak in
+      let ff_naive () =
+        let p = Profile.Naive.create w in
+        let placed = ref 0 in
+        List.iter
+          (fun (it : Item.t) ->
+            let rec go s =
+              if s > w - it.Item.w then ()
+              else if
+                Profile.Naive.peak_in p ~start:s ~len:it.Item.w + it.Item.h
+                <= budget
+              then begin
+                Profile.Naive.add_item p it ~start:s;
+                incr placed
+              end
+              else go (s + 1)
+            in
+            go 0)
+          order;
+        !placed
+      in
+      let ff_kernel () =
+        let st = Dsp_algo.Budget_fit.create inst in
+        let placed = ref 0 in
+        List.iter
+          (fun it -> if Dsp_algo.Budget_fit.first_fit st it ~budget then incr placed)
+          order;
+        !placed
+      in
+      let ff_kernel_placed, ff_kernel_s = Dsp_util.Xutil.timeit ff_kernel in
+      let ff_naive_placed, ff_naive_s = Dsp_util.Xutil.timeit ff_naive in
+      let bfd_speedup = bfd_naive_s /. Float.max 1e-9 bfd_kernel_s in
+      let ff_speedup = ff_naive_s /. Float.max 1e-9 ff_kernel_s in
+      Printf.printf "%-8d %6d | %10.4fs %10.4fs %7.1fx | %10.4fs %10.4fs %7.1fx | %6d\n"
+        w n bfd_naive_s bfd_kernel_s bfd_speedup ff_naive_s ff_kernel_s ff_speedup
+        kernel_peak;
+      if naive_peak <> kernel_peak then
+        Printf.printf "  !! peak mismatch: naive=%d kernel=%d\n" naive_peak
+          kernel_peak;
+      if ff_naive_placed <> ff_kernel_placed then
+        Printf.printf "  !! first-fit placement mismatch: naive=%d kernel=%d\n"
+          ff_naive_placed ff_kernel_placed;
+      let key fmt = Printf.sprintf "W%d.%s" w fmt in
+      let rec_f k v = Bench_json.record ~experiment (key k) (Bench_json.Float v) in
+      let rec_i k v = Bench_json.record ~experiment (key k) (Bench_json.Int v) in
+      rec_i "n" n;
+      rec_f "bfd_naive_seconds" bfd_naive_s;
+      rec_f "bfd_kernel_seconds" bfd_kernel_s;
+      rec_f "bfd_speedup" bfd_speedup;
+      rec_f "ff_naive_seconds" ff_naive_s;
+      rec_f "ff_kernel_seconds" ff_kernel_s;
+      rec_f "ff_speedup" ff_speedup;
+      rec_i "peak" kernel_peak;
+      rec_i "peaks_agree" (if naive_peak = kernel_peak then 1 else 0))
+    widths
+
+let kernel () = kernel_at ~experiment:"kernel" [ 1000; 5000 ] ()
+let kernel_smoke () = kernel_at ~experiment:"kernel-smoke" [ 200 ] ()
+
 (* Bechamel micro-benchmarks: data-structure and primitive costs. *)
 let micro () =
   section "micro" "bechamel micro-benchmarks (ns per run, OLS estimate)";
@@ -611,18 +730,40 @@ let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("micro", micro);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15);
+    ("kernel", kernel); ("kernel-smoke", kernel_smoke); ("micro", micro);
   ]
 
+let run_experiment (name, f) =
+  let (), seconds = Dsp_util.Xutil.timeit f in
+  Bench_json.record ~experiment:name "seconds" (Bench_json.Float seconds)
+
 let () =
-  match Array.to_list Sys.argv |> List.tl with
-  | [] ->
-      List.iter (fun (_, f) -> f ()) experiments;
-      print_newline ()
-  | names ->
-      List.iter
-        (fun name ->
-          match List.assoc_opt name experiments with
-          | Some f -> f ()
-          | None -> Printf.eprintf "unknown experiment %s\n" name)
-        names
+  let ran =
+    match Array.to_list Sys.argv |> List.tl with
+    | [] ->
+        (* kernel-smoke is the CI-sized variant of kernel; skip it in
+           a full run. *)
+        List.iter
+          (fun (name, f) ->
+            if name <> "kernel-smoke" then run_experiment (name, f))
+          experiments;
+        print_newline ();
+        true
+    | names ->
+        List.fold_left
+          (fun ran name ->
+            match List.assoc_opt name experiments with
+            | Some f ->
+                run_experiment (name, f);
+                ran || true
+            | None ->
+                Printf.eprintf "unknown experiment %s\n" name;
+                ran)
+          false names
+  in
+  if ran then begin
+    let path = Option.value (Sys.getenv_opt "BENCH_JSON") ~default:"BENCH.json" in
+    Bench_json.write path;
+    Printf.printf "\nwrote %s\n" path
+  end

@@ -1,37 +1,86 @@
-type t = { loads : int array }
+(* The flat-array implementation, kept verbatim as a reference for
+   differential testing and for the naive side of the kernel
+   benchmark.  The production profile below is backed by the lazy
+   segment tree and must agree with this module on every operation. *)
+module Naive = struct
+  type t = { loads : int array }
+
+  let create width =
+    if width < 1 then invalid_arg "Profile.create: width must be >= 1";
+    { loads = Array.make width 0 }
+
+  let width t = Array.length t.loads
+
+  let add t ~start ~len ~height =
+    if start < 0 || len < 0 || start + len > width t then
+      invalid_arg
+        (Printf.sprintf "Profile.add: range [%d,%d) outside strip of width %d"
+           start (start + len) (width t));
+    for x = start to start + len - 1 do
+      t.loads.(x) <- t.loads.(x) + height
+    done
+
+  let add_item t (it : Item.t) ~start = add t ~start ~len:it.w ~height:it.h
+  let remove_item t (it : Item.t) ~start = add t ~start ~len:it.w ~height:(-it.h)
+  let load t x = t.loads.(x)
+  let peak t = Array.fold_left max 0 t.loads
+
+  let peak_in t ~start ~len =
+    if start < 0 || len < 0 || start + len > width t then
+      invalid_arg "Profile.peak_in: range outside strip";
+    let m = ref 0 in
+    for x = start to start + len - 1 do
+      if t.loads.(x) > !m then m := t.loads.(x)
+    done;
+    !m
+
+  let copy t = { loads = Array.copy t.loads }
+  let to_array t = Array.copy t.loads
+
+  let of_starts (inst : Instance.t) starts =
+    if Array.length starts <> Instance.n_items inst then
+      invalid_arg "Profile.of_starts: starts array does not match instance";
+    let p = create inst.Instance.width in
+    Array.iteri (fun i s -> add_item p (Instance.item inst i) ~start:s) starts;
+    p
+end
+
+type t = { tree : Segtree.t }
 
 let create width =
   if width < 1 then invalid_arg "Profile.create: width must be >= 1";
-  { loads = Array.make width 0 }
+  { tree = Segtree.create width }
 
-let width t = Array.length t.loads
+let width t = Segtree.size t.tree
 
 let add t ~start ~len ~height =
   if start < 0 || len < 0 || start + len > width t then
     invalid_arg
       (Printf.sprintf "Profile.add: range [%d,%d) outside strip of width %d"
          start (start + len) (width t));
-  for x = start to start + len - 1 do
-    t.loads.(x) <- t.loads.(x) + height
-  done
+  Segtree.range_add t.tree ~lo:start ~hi:(start + len) height
 
 let add_item t (it : Item.t) ~start = add t ~start ~len:it.w ~height:it.h
 let remove_item t (it : Item.t) ~start = add t ~start ~len:it.w ~height:(-it.h)
-let load t x = t.loads.(x)
+let load t x = Segtree.get t.tree x
 
-let peak t = Array.fold_left max 0 t.loads
+(* Like the naive reference, peaks are clamped at 0: loads can only go
+   negative through explicit negative adds, and the empty window has
+   peak 0. *)
+let peak t = max 0 (Segtree.max_all t.tree)
 
 let peak_in t ~start ~len =
   if start < 0 || len < 0 || start + len > width t then
     invalid_arg "Profile.peak_in: range outside strip";
-  let m = ref 0 in
-  for x = start to start + len - 1 do
-    if t.loads.(x) > !m then m := t.loads.(x)
-  done;
-  !m
+  max 0 (Segtree.range_max t.tree ~lo:start ~hi:(start + len))
 
-let copy t = { loads = Array.copy t.loads }
-let to_array t = Array.copy t.loads
+let copy t = { tree = Segtree.copy t.tree }
+let to_array t = Segtree.to_array t.tree
+
+let first_fit_start ?(from = 0) t ~len ~height ~budget =
+  Segtree.first_fit_from t.tree ~from ~len ~height ~limit:budget
+
+let best_start t ~len = Segtree.best_start t.tree ~len
 
 let of_starts (inst : Instance.t) starts =
   if Array.length starts <> Instance.n_items inst then
@@ -42,9 +91,10 @@ let of_starts (inst : Instance.t) starts =
 
 let pp fmt t =
   Format.fprintf fmt "@[profile(peak=%d): %a@]" (peak t) Dsp_util.Xutil.pp_int_list
-    (Array.to_list t.loads)
+    (Array.to_list (to_array t))
 
 let render ?(max_rows = 20) t =
+  let loads = to_array t in
   let pk = peak t in
   if pk = 0 then "(empty strip)"
   else
@@ -55,7 +105,7 @@ let render ?(max_rows = 20) t =
     for r = rows downto 1 do
       let threshold = (r - 1) * band in
       for x = 0 to width t - 1 do
-        Buffer.add_char buf (if t.loads.(x) > threshold then '#' else '.')
+        Buffer.add_char buf (if loads.(x) > threshold then '#' else '.')
       done;
       Buffer.add_char buf '\n'
     done;

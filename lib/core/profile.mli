@@ -3,10 +3,13 @@
     A profile records, for every unit column of the strip, the total
     height of items covering it.  It is the central object of Demand
     Strip Packing: the objective value of a packing is exactly the peak
-    of its profile.  This implementation keeps the per-column loads in
-    a plain array with O(1) amortized range updates via a difference
-    array that is flushed lazily; for algorithms needing range-max
-    queries under updates see {!Segtree}. *)
+    of its profile.  The implementation is backed by the lazy segment
+    tree ({!Segtree}): range updates and window-peak queries are
+    O(log width), and the placement queries {!first_fit_start} /
+    {!best_start} replace whole O(width * len) scan loops.  The
+    pre-kernel flat-array implementation survives as {!Naive} for
+    differential testing and as the baseline of the kernel
+    benchmark. *)
 
 type t
 
@@ -35,6 +38,20 @@ val peak_in : t -> start:int -> len:int -> int
 val copy : t -> t
 val to_array : t -> int array
 
+val first_fit_start :
+  ?from:int -> t -> len:int -> height:int -> budget:int -> int option
+(** [first_fit_start t ~len ~height ~budget] is the leftmost start [s]
+    (at least [from], default 0) where placing an item of the given
+    footprint keeps the window peak within [budget]
+    ([peak_in s len + height <= budget]); [None] if no start
+    qualifies.  Skip-ahead segment-tree descent — see
+    {!Segtree.first_fit_from}. *)
+
+val best_start : t -> len:int -> (int * int) option
+(** [best_start t ~len] is [(s, peak)] for the leftmost start [s]
+    minimizing the window peak, together with that peak; [None] when
+    [len] exceeds the strip width.  O(width) sliding-window maximum. *)
+
 val of_starts : Instance.t -> int array -> t
 (** Profile of the packing that starts item [i] at [starts.(i)]. *)
 
@@ -43,3 +60,24 @@ val pp : Format.formatter -> t -> unit
 val render : ?max_rows:int -> t -> string
 (** ASCII skyline, one character column per strip column, for the
     examples and the CLI. *)
+
+(** The pre-kernel flat-array profile, kept as a reference
+    implementation.  Differential property tests
+    ([test/test_kernel.ml]) drive both implementations with the same
+    operation streams and require identical answers; the kernel
+    benchmark uses it as the naive baseline. *)
+module Naive : sig
+  type t
+
+  val create : int -> t
+  val width : t -> int
+  val add : t -> start:int -> len:int -> height:int -> unit
+  val add_item : t -> Item.t -> start:int -> unit
+  val remove_item : t -> Item.t -> start:int -> unit
+  val load : t -> int -> int
+  val peak : t -> int
+  val peak_in : t -> start:int -> len:int -> int
+  val copy : t -> t
+  val to_array : t -> int array
+  val of_starts : Instance.t -> int array -> t
+end

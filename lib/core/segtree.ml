@@ -14,6 +14,7 @@ let create n =
   { n; size = !size; tree = Array.make (2 * !size) 0; lazy_ = Array.make (2 * !size) 0 }
 
 let size t = t.n
+let copy t = { t with tree = Array.copy t.tree; lazy_ = Array.copy t.lazy_ }
 
 (* Node [v] covers columns [node_lo, node_hi). The displayed value of a
    node is tree.(v) + sum of lazy_ on its ancestors; we keep tree.(v)
@@ -59,14 +60,95 @@ let of_array arr =
   Array.iteri (fun i v -> range_add t ~lo:i ~hi:(i + 1) v) arr;
   t
 
-let to_array t = Array.init t.n (get t)
+(* Flatten in O(n) with a single lazy-accumulating walk (get-per-index
+   would be O(n log n) and dominates the profile renderers). *)
+let to_array t =
+  let out = Array.make t.n 0 in
+  let rec go v node_lo node_hi acc =
+    if node_lo < t.n then
+      if node_hi - node_lo = 1 then out.(node_lo) <- acc + t.tree.(v)
+      else begin
+        let mid = (node_lo + node_hi) / 2 in
+        let acc = acc + t.lazy_.(v) in
+        go (2 * v) node_lo mid acc;
+        go ((2 * v) + 1) mid node_hi acc
+      end
+  in
+  go 1 0 t.size 0;
+  out
 
-let min_peak_start t ~len ~height ~limit =
-  if len < 1 || len > t.n then None
+(* Rightmost leaf in [lo, hi) whose value is strictly above the
+   threshold, or -1.  Subtrees whose max is already <= threshold are
+   pruned wholesale (valid even on partial overlap, since the subtree
+   max dominates the max of any intersection), so the descent visits
+   O(log n) nodes amortized. *)
+let rec last_above_rec t v node_lo node_hi lo hi thr acc =
+  if hi <= node_lo || node_hi <= lo then -1
+  else if acc + t.tree.(v) <= thr then -1
+  else if node_hi - node_lo = 1 then node_lo
   else
+    let mid = (node_lo + node_hi) / 2 in
+    let acc = acc + t.lazy_.(v) in
+    let r = last_above_rec t ((2 * v) + 1) mid node_hi lo hi thr acc in
+    if r >= 0 then r else last_above_rec t (2 * v) node_lo mid lo hi thr acc
+
+let find_last_above t ~lo ~hi threshold =
+  if lo < 0 || hi > t.n || lo > hi then
+    invalid_arg "Segtree.find_last_above: bad range";
+  let r = last_above_rec t 1 0 t.size lo hi threshold 0 in
+  if r < 0 then None else Some r
+
+(* Skip-ahead first fit: test the window at [s]; on violation, jump
+   past the *last* violating column instead of stepping to [s + 1].
+   Every violating column is skipped exactly once across the whole
+   scan, so a full placement costs O((k + 1) log n) where k is the
+   number of violating columns encountered, instead of O(n * len). *)
+let first_fit_from t ~from ~len ~height ~limit =
+  if len < 1 || len > t.n then None
+  else begin
+    let thr = limit - height in
     let rec go s =
       if s + len > t.n then None
-      else if range_max t ~lo:s ~hi:(s + len) + height <= limit then Some s
-      else go (s + 1)
+      else
+        match last_above_rec t 1 0 t.size s (s + len) thr 0 with
+        | -1 -> Some s
+        | j -> go (j + 1)
     in
-    go 0
+    go (max 0 from)
+  end
+
+let first_fit_pos t ~len ~height ~limit =
+  first_fit_from t ~from:0 ~len ~height ~limit
+
+let min_peak_start t ~len ~height ~limit = first_fit_pos t ~len ~height ~limit
+
+(* Sliding-window maximum (monotonic deque) over an O(n) flatten:
+   all window peaks in O(n), versus n range-max queries. *)
+let best_start t ~len =
+  if len < 1 || len > t.n then None
+  else begin
+    let loads = to_array t in
+    let n = t.n in
+    let dq = Array.make n 0 in
+    let head = ref 0 and tail = ref 0 in
+    let best_s = ref 0 and best_peak = ref max_int in
+    for x = 0 to n - 1 do
+      while !tail > !head && loads.(dq.(!tail - 1)) <= loads.(x) do
+        decr tail
+      done;
+      dq.(!tail) <- x;
+      incr tail;
+      let s = x - len + 1 in
+      if s >= 0 then begin
+        while dq.(!head) < s do
+          incr head
+        done;
+        let wmax = loads.(dq.(!head)) in
+        if wmax < !best_peak then begin
+          best_peak := wmax;
+          best_s := s
+        end
+      end
+    done;
+    Some (!best_s, !best_peak)
+  end

@@ -1,10 +1,15 @@
-(** Lazy segment tree with range-add updates and range-max queries.
+(** Lazy segment tree with range-add updates and range-max queries —
+    the packing kernel behind {!Profile} and the placement loops.
 
     The incremental DSP algorithms (first-fit placement, branch and
-    bound) repeatedly ask "what is the peak load in this window?" and
-    "add h to this window"; both are O(log width) here versus O(width)
-    on the flat {!Profile}.  The ablation benchmark E-micro compares
-    the two structures. *)
+    bound) repeatedly ask "what is the peak load in this window?",
+    "add h to this window", and "where is the leftmost window whose
+    peak stays under a budget?".  All three are O(log width) here
+    versus O(width) on a flat load array; {!first_fit_from} further
+    skips past the column that caused a violation instead of advancing
+    one start at a time.  The kernel micro-experiment
+    ([bench/main.exe -- kernel]) measures both structures side by
+    side and writes the result to [BENCH.json]. *)
 
 type t
 
@@ -12,6 +17,9 @@ val create : int -> t
 (** [create n] is the all-zero tree over columns [0, n). *)
 
 val size : t -> int
+
+val copy : t -> t
+(** Independent snapshot (for backtracking searches that fork). *)
 
 val range_add : t -> lo:int -> hi:int -> int -> unit
 (** Add a value to all columns in [lo, hi) — [hi] exclusive. *)
@@ -22,11 +30,33 @@ val range_max : t -> lo:int -> hi:int -> int
 val max_all : t -> int
 val get : t -> int -> int
 val of_array : int array -> t
+
 val to_array : t -> int array
+(** Flatten to per-column values in O(n) (single lazy-accumulating
+    walk, not n point queries). *)
+
+val find_last_above : t -> lo:int -> hi:int -> int -> int option
+(** [find_last_above t ~lo ~hi threshold] is the rightmost column in
+    [lo, hi) whose value is strictly greater than [threshold]; [None]
+    if the whole window is at most [threshold].  O(log n) tree
+    descent. *)
+
+val first_fit_from : t -> from:int -> len:int -> height:int -> limit:int -> int option
+(** [first_fit_from t ~from ~len ~height ~limit] is the smallest start
+    [s >= from] such that [range_max t s (s+len) + height <= limit],
+    or [None].  Skip-ahead descent: a failed window jumps directly
+    past its last violating column, so a whole scan is
+    O((violations + 1) log n) amortized rather than O(n * len). *)
+
+val first_fit_pos : t -> len:int -> height:int -> limit:int -> int option
+(** [first_fit_from] with [from = 0]. *)
 
 val min_peak_start : t -> len:int -> height:int -> limit:int -> int option
-(** [min_peak_start t ~len ~height ~limit] finds the smallest start
-    [s] such that placing an item of the given [len] and [height] at
-    [s] keeps the window peak at most [limit], i.e.
-    [range_max t s (s+len) + height <= limit].  Linear scan over
-    candidate starts with O(log n) window queries. *)
+(** Historical alias of {!first_fit_pos} (kept for callers of the
+    pre-kernel interface). *)
+
+val best_start : t -> len:int -> (int * int) option
+(** [best_start t ~len] is [(s, peak)] where [s] is the leftmost start
+    minimizing the window peak [range_max t s (s+len)] and [peak] that
+    minimum; [None] when no window of length [len] fits.  O(n) via a
+    sliding-window maximum over a flattened snapshot. *)

@@ -38,32 +38,22 @@ let to_packing t =
   Packing.make t.inst t.starts
 
 let first_fit t (it : Item.t) ~budget =
-  let width = t.inst.Instance.width in
-  let rec go s =
-    if s > width - it.w then false
-    else if Profile.peak_in t.profile ~start:s ~len:it.w + it.h <= budget then begin
-      place t it ~start:s;
-      true
-    end
-    else go (s + 1)
-  in
-  go 0
+  if it.w > t.inst.Instance.width then false
+  else
+    match Profile.first_fit_start t.profile ~len:it.w ~height:it.h ~budget with
+    | Some s ->
+        place t it ~start:s;
+        true
+    | None -> false
 
 let best_fit t (it : Item.t) ~budget =
-  let width = t.inst.Instance.width in
-  let best = ref (-1) and best_peak = ref max_int in
-  for s = 0 to width - it.w do
-    let p = Profile.peak_in t.profile ~start:s ~len:it.w in
-    if p < !best_peak then begin
-      best_peak := p;
-      best := s
-    end
-  done;
-  if !best >= 0 && !best_peak + it.h <= budget then begin
-    place t it ~start:!best;
-    true
-  end
-  else false
+  if it.w > t.inst.Instance.width then false
+  else
+    match Profile.best_start t.profile ~len:it.w with
+    | Some (s, p) when p + it.h <= budget ->
+        place t it ~start:s;
+        true
+    | _ -> false
 
 let place_all_best_fit t items ~budget ~order =
   let sorted = List.sort order items in

@@ -34,11 +34,15 @@ val to_packing : state -> Packing.t
 
 val first_fit : state -> Item.t -> budget:int -> bool
 (** Place at the leftmost start keeping the item's window peak within
-    [budget]; false if no start qualifies. *)
+    [budget]; false if no start qualifies (immediately so when the
+    item is wider than the strip).  Runs on the segment-tree kernel's
+    skip-ahead descent ({!Dsp_core.Profile.first_fit_start}) instead
+    of an O(width * w) scan. *)
 
 val best_fit : state -> Item.t -> budget:int -> bool
 (** Place at the start minimizing the window peak (ties to the left);
-    false if even the best start exceeds [budget]. *)
+    false if even the best start exceeds [budget].  O(width) via the
+    kernel's sliding-window maximum ({!Dsp_core.Profile.best_start}). *)
 
 val place_all_best_fit :
   state -> Item.t list -> budget:int -> order:(Item.t -> Item.t -> int) -> bool

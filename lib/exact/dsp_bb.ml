@@ -8,22 +8,15 @@ exception Out_of_nodes
    column minimizing the resulting window peak. Used only as an upper
    bound for the binary search. *)
 let greedy_height (inst : Instance.t) =
-  let width = inst.Instance.width in
-  let profile = Profile.create width in
+  let profile = Profile.create inst.Instance.width in
   let order =
     Array.to_list inst.Instance.items |> List.sort Item.compare_by_height_desc
   in
   List.iter
     (fun (it : Item.t) ->
-      let best = ref 0 and best_peak = ref max_int in
-      for s = 0 to width - it.w do
-        let p = Profile.peak_in profile ~start:s ~len:it.w in
-        if p < !best_peak then begin
-          best_peak := p;
-          best := s
-        end
-      done;
-      Profile.add_item profile it ~start:!best)
+      match Profile.best_start profile ~len:it.w with
+      | Some (s, _) -> Profile.add_item profile it ~start:s
+      | None -> invalid_arg "Dsp_bb.greedy_height: item wider than strip")
     order;
   Profile.peak profile
 
@@ -35,7 +28,11 @@ let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
   else begin
     let order = Array.copy inst.Instance.items in
     Array.sort Item.compare_by_area_desc order;
-    let loads = Array.make width 0 in
+    (* Load profile on the segment-tree kernel: place/unplace are
+       O(log W) range adds (incremental undo on backtrack), and start
+       enumeration skips infeasible columns via the kernel's
+       first-fit descent instead of stepping one column at a time. *)
+    let loads = Segtree.create width in
     let starts = Array.make n (-1) in
     (* remaining.(k) = total area of items order.(k..). *)
     let remaining = Array.make (n + 1) 0 in
@@ -44,27 +41,14 @@ let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
     done;
     let free_capacity = ref (height * width) in
     let place (it : Item.t) s =
-      for x = s to s + it.w - 1 do
-        loads.(x) <- loads.(x) + it.h
-      done;
+      Segtree.range_add loads ~lo:s ~hi:(s + it.w) it.h;
       free_capacity := !free_capacity - Item.area it;
       starts.(it.id) <- s
     in
     let unplace (it : Item.t) s =
-      for x = s to s + it.w - 1 do
-        loads.(x) <- loads.(x) - it.h
-      done;
+      Segtree.range_add loads ~lo:s ~hi:(s + it.w) (-it.h);
       free_capacity := !free_capacity + Item.area it;
       starts.(it.id) <- -1
-    in
-    let fits (it : Item.t) s =
-      let ok = ref true in
-      let x = ref s in
-      while !ok && !x < s + it.w do
-        if loads.(!x) + it.h > height then ok := false;
-        incr x
-      done;
-      !ok
     in
     let rec go k =
       incr nodes;
@@ -85,17 +69,25 @@ let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
             then starts.(order.(k - 1).Item.id)
             else 0
           in
+          (* Jump straight to the next feasible start at or after [s];
+             the enumeration still visits every feasible start in
+             increasing order, so the search tree (and node count) is
+             unchanged — only the infeasible gaps between candidates
+             are skipped in O(log W). *)
           let rec try_start s =
-            if s > max_start then false
-            else if fits it s then begin
-              place it s;
-              if go (k + 1) then true
-              else begin
-                unplace it s;
-                try_start (s + 1)
-              end
-            end
-            else try_start (s + 1)
+            match
+              Segtree.first_fit_from loads ~from:s ~len:it.w ~height:it.h
+                ~limit:height
+            with
+            | None -> false
+            | Some s' when s' > max_start -> false
+            | Some s' ->
+                place it s';
+                if go (k + 1) then true
+                else begin
+                  unplace it s';
+                  try_start (s' + 1)
+                end
           in
           try_start (max 0 min_start)
         end

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a smoke run of the packing-kernel benchmark:
+# build, unit/property tests (including the kernel differential
+# suite), then a tiny kernel ablation to catch perf-path regressions
+# that type-check but break at runtime.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+BENCH_JSON=$(mktemp -t bench-smoke.XXXXXX.json) \
+  dune exec bench/main.exe -- kernel-smoke

@@ -1,0 +1,215 @@
+(* Differential tests for the segment-tree packing kernel: the
+   segtree-backed Profile must agree with the flat-array
+   Profile.Naive reference on every operation, and the kernel
+   placement queries (first_fit_pos / first_fit_from / best_start /
+   find_last_above) must agree with direct linear scans. *)
+
+open Dsp_core
+module Rng = Dsp_util.Rng
+
+(* ---- randomized operation streams against the naive reference ---- *)
+
+(* Drives both implementations with the same interleaved stream of
+   add / peak / peak_in / load operations.  Sized to satisfy the
+   acceptance bar explicitly: >= 20 random instances, >= 1000
+   randomized operations each. *)
+let differential_stream () =
+  let instances = 24 and ops_per_instance = 1200 in
+  for i = 1 to instances do
+    let rng = Rng.create (9_000 + i) in
+    let width = Rng.int_in rng 1 120 in
+    let p = Profile.create width in
+    let q = Profile.Naive.create width in
+    for op = 1 to ops_per_instance do
+      match Rng.int rng 4 with
+      | 0 ->
+          let start = Rng.int rng width in
+          let len = Rng.int rng (width - start + 1) in
+          let height = Rng.int_in rng (-4) 8 in
+          Profile.add p ~start ~len ~height;
+          Profile.Naive.add q ~start ~len ~height
+      | 1 ->
+          if Profile.peak p <> Profile.Naive.peak q then
+            Alcotest.failf "instance %d op %d: peak %d <> naive %d" i op
+              (Profile.peak p) (Profile.Naive.peak q)
+      | 2 ->
+          let start = Rng.int rng width in
+          let len = Rng.int rng (width - start + 1) in
+          let a = Profile.peak_in p ~start ~len in
+          let b = Profile.Naive.peak_in q ~start ~len in
+          if a <> b then
+            Alcotest.failf "instance %d op %d: peak_in [%d,%d) %d <> naive %d" i
+              op start (start + len) a b
+      | _ ->
+          let x = Rng.int rng width in
+          if Profile.load p x <> Profile.Naive.load q x then
+            Alcotest.failf "instance %d op %d: load %d differs" i op x
+    done;
+    if Profile.to_array p <> Profile.Naive.to_array q then
+      Alcotest.failf "instance %d: final arrays differ" i
+  done
+
+let of_starts_differential () =
+  for i = 1 to 20 do
+    let rng = Rng.create (17_000 + i) in
+    let width = 4 + Rng.int rng 40 in
+    let inst =
+      Dsp_instance.Generators.uniform rng ~n:(5 + Rng.int rng 30) ~width
+        ~max_w:(min 6 width) ~max_h:9
+    in
+    let starts =
+      Array.map
+        (fun (it : Item.t) -> Rng.int rng (inst.Instance.width - it.Item.w + 1))
+        inst.Instance.items
+    in
+    let p = Profile.of_starts inst starts in
+    let q = Profile.Naive.of_starts inst starts in
+    if Profile.to_array p <> Profile.Naive.to_array q then
+      Alcotest.failf "of_starts instance %d: arrays differ" i
+  done
+
+(* ---- kernel queries vs linear scans ---- *)
+
+(* Random nonneg load arrays like the placement algorithms produce,
+   plus occasional negative adds to stress the general case. *)
+let loads_arb =
+  QCheck.make
+    ~print:(fun (w, ops) ->
+      Printf.sprintf "width=%d ops=%s" w
+        (String.concat ";"
+           (List.map (fun (s, l, h) -> Printf.sprintf "(%d,%d,%d)" s l h) ops)))
+    QCheck.Gen.(
+      let* width = int_range 1 50 in
+      let* n = int_range 0 25 in
+      let* ops =
+        list_repeat n
+          (let* s = int_range 0 (width - 1) in
+           let* l = int_range 0 (width - s) in
+           let* h = int_range (-3) 9 in
+           return (s, l, h))
+      in
+      return (width, ops))
+
+let build width ops =
+  let t = Segtree.create width in
+  let a = Array.make width 0 in
+  List.iter
+    (fun (s, l, h) ->
+      Segtree.range_add t ~lo:s ~hi:(s + l) h;
+      for x = s to s + l - 1 do
+        a.(x) <- a.(x) + h
+      done)
+    ops;
+  (t, a)
+
+let window_max a s len =
+  let m = ref min_int in
+  for x = s to s + len - 1 do
+    if a.(x) > !m then m := a.(x)
+  done;
+  !m
+
+let scan_first_fit a ~from ~len ~height ~limit =
+  let width = Array.length a in
+  let rec go s =
+    if s + len > width then None
+    else if window_max a s len + height <= limit then Some s
+    else go (s + 1)
+  in
+  if len < 1 || len > width then None else go (max 0 from)
+
+let query_arb =
+  QCheck.make
+    ~print:(fun ((w, ops), (from, len, height, limit)) ->
+      Printf.sprintf "width=%d |ops|=%d from=%d len=%d h=%d limit=%d" w
+        (List.length ops) from len height limit)
+    QCheck.Gen.(
+      let* (width, ops) = QCheck.gen loads_arb in
+      let* from = int_range 0 width in
+      let* len = int_range 1 (width + 1) in
+      let* height = int_range 0 8 in
+      let* limit = int_range 0 30 in
+      return ((width, ops), (from, len, height, limit)))
+
+let suite =
+  [
+    Alcotest.test_case "profile ops match naive (24 instances x 1200 ops)" `Quick
+      differential_stream;
+    Alcotest.test_case "of_starts matches naive (20 instances)" `Quick
+      of_starts_differential;
+    Helpers.qtest ~count:300 "first_fit_pos matches linear scan" query_arb
+      (fun ((width, ops), (_, len, height, limit)) ->
+        let t, a = build width ops in
+        Segtree.first_fit_pos t ~len ~height ~limit
+        = scan_first_fit a ~from:0 ~len ~height ~limit);
+    Helpers.qtest ~count:300 "first_fit_from matches linear scan" query_arb
+      (fun ((width, ops), (from, len, height, limit)) ->
+        let t, a = build width ops in
+        Segtree.first_fit_from t ~from ~len ~height ~limit
+        = scan_first_fit a ~from ~len ~height ~limit);
+    Helpers.qtest ~count:300 "profile first_fit_start matches naive scan"
+      query_arb
+      (fun ((width, ops), (_, len, height, budget)) ->
+        (* Restrict to nonnegative loads: Profile.peak_in clamps at 0,
+           which only coincides with the raw window max when loads are
+           nonnegative (as in every placement state). *)
+        let nonneg = List.map (fun (s, l, h) -> (s, l, abs h)) ops in
+        let p = Profile.create width in
+        let q = Profile.Naive.create width in
+        List.iter
+          (fun (s, l, h) ->
+            Profile.add p ~start:s ~len:l ~height:h;
+            Profile.Naive.add q ~start:s ~len:l ~height:h)
+          nonneg;
+        let reference =
+          let rec go s =
+            if len < 1 || s + len > width then None
+            else if Profile.Naive.peak_in q ~start:s ~len + height <= budget then
+              Some s
+            else go (s + 1)
+          in
+          go 0
+        in
+        Profile.first_fit_start p ~len ~height ~budget = reference);
+    Helpers.qtest ~count:300 "best_start matches argmin of window maxima"
+      query_arb
+      (fun ((width, ops), (_, len, _, _)) ->
+        let t, a = build width ops in
+        let reference =
+          if len > width then None
+          else begin
+            let best = ref (-1) and best_peak = ref max_int in
+            for s = 0 to width - len do
+              let m = window_max a s len in
+              if m < !best_peak then begin
+                best_peak := m;
+                best := s
+              end
+            done;
+            Some (!best, !best_peak)
+          end
+        in
+        Segtree.best_start t ~len = reference);
+    Helpers.qtest ~count:300 "find_last_above matches linear scan" query_arb
+      (fun ((width, ops), (from, len, _, limit)) ->
+        let t, a = build width ops in
+        let lo = min from (width - 1) and hi = min width (from + len) in
+        if lo > hi then true
+        else begin
+          let reference = ref None in
+          for x = lo to hi - 1 do
+            if a.(x) > limit then reference := Some x
+          done;
+          Segtree.find_last_above t ~lo ~hi limit = !reference
+        end);
+    Helpers.qtest ~count:200 "segtree to_array matches accumulated ops" loads_arb
+      (fun (width, ops) ->
+        let t, a = build width ops in
+        Segtree.to_array t = a);
+    Helpers.qtest ~count:200 "segtree copy is independent" loads_arb
+      (fun (width, ops) ->
+        let t, a = build width ops in
+        let c = Segtree.copy t in
+        Segtree.range_add t ~lo:0 ~hi:width 5;
+        Segtree.to_array c = a);
+  ]

@@ -5,6 +5,7 @@ let () =
       ("util", Test_util.suite);
       ("core", Test_core.suite);
       ("profile", Test_profile.suite);
+      ("kernel", Test_kernel.suite);
       ("packing", Test_packing.suite);
       ("pts", Test_pts.suite);
       ("sp", Test_sp.suite);
