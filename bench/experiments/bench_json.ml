@@ -1,10 +1,17 @@
-(* Machine-readable benchmark output.
+(* Machine-readable benchmark output (schema dsp-bench/2).
 
    Experiments register metrics (wall-clock seconds, peak heights,
    node counts, speedups) under their experiment id while they run;
    the harness then serializes everything to BENCH.json so later PRs
    have a perf trajectory to regress against.  Hand-rolled writer: the
-   container has no JSON library and the format is flat. *)
+   container has no JSON library and the format is flat.
+
+   Schema v2 (documented in EXPERIMENTS.md): unchanged container
+   shape from v1 — {"schema", "experiments": [{"id", <metrics>...}]}
+   — plus the "counters" experiment whose metrics are the per-solver
+   Dsp_util.Instr counter totals over the standard experiment set,
+   under dotted keys "<solver>.<counter>" (see {!record_counters});
+   e.g. "approx54.segtree.range_add", "exact-bb.bb.nodes". *)
 
 type value = Int of int | Float of float | String of string | Bool of bool
 
@@ -24,6 +31,11 @@ let record ~experiment key value =
         r
   in
   row := !row @ [ (key, value) ]
+
+let record_counters ~experiment ~solver counters =
+  List.iter
+    (fun (name, v) -> record ~experiment (solver ^ "." ^ name) (Int v))
+    counters
 
 let escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -49,7 +61,7 @@ let value_to_string = function
 
 let write path =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"schema\": \"dsp-bench/1\",\n  \"experiments\": [";
+  Buffer.add_string buf "{\n  \"schema\": \"dsp-bench/2\",\n  \"experiments\": [";
   List.iteri
     (fun i (id, metrics) ->
       if i > 0 then Buffer.add_char buf ',';

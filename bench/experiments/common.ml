@@ -1,0 +1,31 @@
+(* Shared plumbing for the per-experiment modules: section headers and
+   registry-driven solver access, so no experiment keeps a private
+   algorithm table. *)
+
+module Registry = Dsp_engine.Registry
+module Solver = Dsp_engine.Solver
+module Report = Dsp_engine.Report
+
+let section id title = Printf.printf "\n=== %s: %s ===\n" id title
+
+let heuristics = Registry.heuristics
+
+(* Run a registered solver and return its validated report; heuristics
+   never exhaust a budget, so a failure here is a harness bug. *)
+let report ?node_budget (s : Solver.t) inst =
+  match Solver.run ?node_budget s inst with
+  | Ok r -> r
+  | Error msg -> failwith (Printf.sprintf "bench: solver %s: %s" s.Solver.name msg)
+
+let packing_of ?node_budget (s : Solver.t) inst =
+  (report ?node_budget s inst).Report.packing
+
+let height_of ?node_budget (s : Solver.t) inst =
+  (report ?node_budget s inst).Report.peak
+
+let height_by_name ?node_budget name inst =
+  height_of ?node_budget (Registry.find_exn name) inst
+
+let scheduler_of name =
+  let s = Registry.find_exn name in
+  fun inst -> packing_of s inst

@@ -1,0 +1,114 @@
+(* kernel: ablation of the segment-tree packing kernel against the
+   naive flat-array profile on identical workloads.  Best-fit
+   decreasing is the acceptance metric (the kernel replaces an
+   O(W * w) scan per item by an O(W) sliding-window maximum); first
+   fit additionally exercises the skip-ahead descent.  Both sides
+   place items in the same order with the same tie-breaks, so the
+   resulting peaks must agree exactly. *)
+
+open Dsp_core
+module Rng = Dsp_util.Rng
+
+let kernel_at ~experiment widths () =
+  Common.section "kernel"
+    "segment-tree packing kernel vs naive profile (same placements)";
+  Printf.printf "%-8s %6s | %11s %11s %8s | %11s %11s %8s | %6s\n" "W" "n"
+    "bfd-naive" "bfd-kernel" "speedup" "ff-naive" "ff-kernel" "speedup" "peak";
+  List.iter
+    (fun w ->
+      let n = max 40 (w / 16) in
+      let rng = Rng.create (555 + w) in
+      let inst =
+        Dsp_instance.Generators.uniform rng ~n ~width:w ~max_w:(max 2 (w / 10))
+          ~max_h:50
+      in
+      let order =
+        Array.to_list inst.Instance.items |> List.sort Item.compare_by_height_desc
+      in
+      (* Best-fit decreasing, naive reference: full window scan per start. *)
+      let bfd_naive () =
+        let p = Profile.Naive.create w in
+        List.iter
+          (fun (it : Item.t) ->
+            let best = ref 0 and best_peak = ref max_int in
+            for s = 0 to w - it.Item.w do
+              let pk = Profile.Naive.peak_in p ~start:s ~len:it.Item.w in
+              if pk < !best_peak then begin
+                best_peak := pk;
+                best := s
+              end
+            done;
+            Profile.Naive.add_item p it ~start:!best)
+          order;
+        Profile.Naive.peak p
+      in
+      let bfd_kernel () =
+        let st = Dsp_algo.Budget_fit.create inst in
+        List.iter
+          (fun it -> ignore (Dsp_algo.Budget_fit.best_fit st it ~budget:max_int))
+          order;
+        Dsp_algo.Budget_fit.peak st
+      in
+      let kernel_peak, bfd_kernel_s = Dsp_util.Xutil.timeit bfd_kernel in
+      let naive_peak, bfd_naive_s = Dsp_util.Xutil.timeit bfd_naive in
+      (* First fit under a finite budget (the greedy peak), naive s+1
+         stepping vs kernel skip-ahead; same budget, same order. *)
+      let budget = kernel_peak in
+      let ff_naive () =
+        let p = Profile.Naive.create w in
+        let placed = ref 0 in
+        List.iter
+          (fun (it : Item.t) ->
+            let rec go s =
+              if s > w - it.Item.w then ()
+              else if
+                Profile.Naive.peak_in p ~start:s ~len:it.Item.w + it.Item.h
+                <= budget
+              then begin
+                Profile.Naive.add_item p it ~start:s;
+                incr placed
+              end
+              else go (s + 1)
+            in
+            go 0)
+          order;
+        !placed
+      in
+      let ff_kernel () =
+        let st = Dsp_algo.Budget_fit.create inst in
+        let placed = ref 0 in
+        List.iter
+          (fun it -> if Dsp_algo.Budget_fit.first_fit st it ~budget then incr placed)
+          order;
+        !placed
+      in
+      let ff_kernel_placed, ff_kernel_s = Dsp_util.Xutil.timeit ff_kernel in
+      let ff_naive_placed, ff_naive_s = Dsp_util.Xutil.timeit ff_naive in
+      let bfd_speedup = bfd_naive_s /. Float.max 1e-9 bfd_kernel_s in
+      let ff_speedup = ff_naive_s /. Float.max 1e-9 ff_kernel_s in
+      Printf.printf "%-8d %6d | %10.4fs %10.4fs %7.1fx | %10.4fs %10.4fs %7.1fx | %6d\n"
+        w n bfd_naive_s bfd_kernel_s bfd_speedup ff_naive_s ff_kernel_s ff_speedup
+        kernel_peak;
+      if naive_peak <> kernel_peak then
+        Printf.printf "  !! peak mismatch: naive=%d kernel=%d\n" naive_peak
+          kernel_peak;
+      if ff_naive_placed <> ff_kernel_placed then
+        Printf.printf "  !! first-fit placement mismatch: naive=%d kernel=%d\n"
+          ff_naive_placed ff_kernel_placed;
+      let key fmt = Printf.sprintf "W%d.%s" w fmt in
+      let rec_f k v = Bench_json.record ~experiment (key k) (Bench_json.Float v) in
+      let rec_i k v = Bench_json.record ~experiment (key k) (Bench_json.Int v) in
+      rec_i "n" n;
+      rec_f "bfd_naive_seconds" bfd_naive_s;
+      rec_f "bfd_kernel_seconds" bfd_kernel_s;
+      rec_f "bfd_speedup" bfd_speedup;
+      rec_f "ff_naive_seconds" ff_naive_s;
+      rec_f "ff_kernel_seconds" ff_kernel_s;
+      rec_f "ff_speedup" ff_speedup;
+      rec_i "peak" kernel_peak;
+      rec_i "peaks_agree" (if naive_peak = kernel_peak then 1 else 0))
+    widths
+
+let kernel () = kernel_at ~experiment:"kernel" [ 1000; 5000 ] ()
+let kernel_smoke () = kernel_at ~experiment:"kernel-smoke" [ 200 ] ()
+let experiments = [ ("kernel", kernel); ("kernel-smoke", kernel_smoke) ]

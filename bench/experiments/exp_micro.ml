@@ -1,0 +1,65 @@
+(* Bechamel micro-benchmarks: data-structure and primitive costs. *)
+
+open Dsp_core
+module Rng = Dsp_util.Rng
+
+let micro () =
+  Common.section "micro" "bechamel micro-benchmarks (ns per run, OLS estimate)";
+  let open Bechamel in
+  let rng = Rng.create 7 in
+  let inst =
+    Dsp_instance.Generators.uniform rng ~n:200 ~width:500 ~max_w:60 ~max_h:30
+  in
+  let starts =
+    Array.map
+      (fun (it : Item.t) -> Rng.int rng (500 - it.Item.w + 1))
+      inst.Instance.items
+  in
+  let seg_filled () =
+    let t = Segtree.create 500 in
+    Array.iteri
+      (fun i s ->
+        let it = Instance.item inst i in
+        Segtree.range_add t ~lo:s ~hi:(s + it.Item.w) it.Item.h)
+      starts;
+    t
+  in
+  let profile = Profile.of_starts inst starts in
+  let segtree = seg_filled () in
+  let tests =
+    [
+      Test.make ~name:"profile-array-rebuild"
+        (Staged.stage (fun () -> ignore (Profile.of_starts inst starts)));
+      Test.make ~name:"segtree-rebuild" (Staged.stage (fun () -> ignore (seg_filled ())));
+      Test.make ~name:"profile-peak-scan"
+        (Staged.stage (fun () -> ignore (Profile.peak profile)));
+      Test.make ~name:"segtree-range-max"
+        (Staged.stage (fun () -> ignore (Segtree.max_all segtree)));
+      Test.make ~name:"profile-window-peak"
+        (Staged.stage (fun () -> ignore (Profile.peak_in profile ~start:100 ~len:60)));
+      Test.make ~name:"segtree-window-max"
+        (Staged.stage (fun () ->
+             ignore (Segtree.range_max segtree ~lo:100 ~hi:160)));
+      Test.make ~name:"bfd-n200"
+        (Staged.stage (fun () ->
+             ignore (Dsp_algo.Baselines.best_fit_decreasing inst)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let res = Analyze.all ols (List.hd instances) raw in
+      Hashtbl.iter
+        (fun name v ->
+          match Analyze.OLS.estimates v with
+          | Some [ est ] -> Printf.printf "%-28s %14.1f ns/run\n" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        res)
+    tests
+
+let experiments = [ ("micro", micro) ]

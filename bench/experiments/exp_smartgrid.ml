@@ -1,0 +1,27 @@
+(* E10: the smart-grid case study (the paper's motivation).  The
+   schedulers come from the registry by name. *)
+
+module Rng = Dsp_util.Rng
+
+let e10 () =
+  Common.section "E10" "smart-grid peak shaving (paper section 1)";
+  Printf.printf "%-12s %6s %8s %-10s %8s %10s\n" "households" "runs" "naive"
+    "algorithm" "peak" "reduction";
+  List.iter
+    (fun households ->
+      let rng = Rng.create (2024 + households) in
+      let runs = Dsp_smartgrid.Smartgrid.simulate_day rng ~households in
+      List.iter
+        (fun name ->
+          let r =
+            Dsp_smartgrid.Smartgrid.evaluate runs
+              ~scheduler:(Common.scheduler_of name)
+          in
+          Printf.printf "%-12d %6d %8d %-10s %8d %9.1f%%\n" households
+            r.Dsp_smartgrid.Smartgrid.runs r.Dsp_smartgrid.Smartgrid.naive_peak
+            name r.Dsp_smartgrid.Smartgrid.scheduled_peak
+            r.Dsp_smartgrid.Smartgrid.reduction_percent)
+        [ "bfd-height"; "approx53"; "approx54" ])
+    [ 10; 25; 50 ]
+
+let experiments = [ ("E10", e10) ]

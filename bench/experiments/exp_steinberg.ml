@@ -1,0 +1,36 @@
+(* E11: the Steinberg substrate — measured height vs the theorem's
+   bound. *)
+
+open Dsp_core
+module Rng = Dsp_util.Rng
+
+let e11 () =
+  Common.section "E11" "Steinberg packer vs the Steinberg bound (substrate check)";
+  Printf.printf "%-10s %8s %8s %10s\n" "family" "avg" "max" "valid";
+  List.iter
+    (fun (fam, max_w, max_h) ->
+      let ratios = ref [] and valid = ref 0 and total = ref 0 in
+      for seed = 0 to 40 do
+        let rng = Rng.create (seed * 13) in
+        let inst =
+          Dsp_instance.Generators.uniform rng ~n:(8 + (seed mod 8)) ~width:20
+            ~max_w ~max_h
+        in
+        let pk = Dsp_sp.Steinberg.pack inst in
+        incr total;
+        if Result.is_ok (Rect_packing.validate pk) then incr valid;
+        let bound = max 1 (Dsp_sp.Steinberg.height_bound inst) in
+        ratios :=
+          (float_of_int (Rect_packing.height pk) /. float_of_int bound)
+          :: !ratios
+      done;
+      let avg =
+        List.fold_left ( +. ) 0.0 !ratios /. float_of_int (List.length !ratios)
+      in
+      Printf.printf "%-10s %8.3f %8.3f %7d/%d\n" fam avg
+        (List.fold_left max 0.0 !ratios)
+        !valid !total)
+    [ ("small", 5, 5); ("wide", 15, 4); ("tall", 4, 15) ];
+  print_endline "(ratio <= 1 means the packer met Steinberg's theorem bound)"
+
+let experiments = [ ("E11", e11) ]

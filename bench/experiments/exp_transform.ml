@@ -1,0 +1,52 @@
+(* E2/E3: the Theorem 1 transformation — running times (Lemma 1
+   bounds) and round-trip soundness at scale. *)
+
+open Dsp_core
+module Rng = Dsp_util.Rng
+
+let e2 () =
+  Common.section "E2"
+    "transformation runtimes (Lemma 1: O(n^2 log n) / O(n^2) bounds)";
+  Printf.printf "%-8s %18s %18s\n" "n" "sched->layout (s)" "packing->sched (s)";
+  List.iter
+    (fun n ->
+      let rng = Rng.create (1000 + n) in
+      let pts = Dsp_instance.Generators.uniform_pts rng ~n ~machines:20 ~max_p:30 in
+      let sched = Dsp_pts.List_scheduling.schedule pts in
+      let _, t_layout =
+        Dsp_util.Xutil.timeit (fun () ->
+            Dsp_transform.Transform.schedule_to_layout sched)
+      in
+      let pk = Dsp_transform.Transform.schedule_to_packing sched in
+      let _, t_sched =
+        Dsp_util.Xutil.timeit (fun () ->
+            Dsp_transform.Transform.packing_to_schedule pk ~machines:20)
+      in
+      Printf.printf "%-8d %18.4f %18.4f\n" n t_layout t_sched)
+    [ 64; 128; 256; 512; 1024; 2048 ]
+
+let e3 () =
+  Common.section "E3" "round-trip soundness (Theorem 1)";
+  Printf.printf "%-8s %8s %10s %14s\n" "n" "trials" "valid" "non-worsening";
+  List.iter
+    (fun n ->
+      let trials = 30 in
+      let ok = ref 0 and preserved = ref 0 in
+      for seed = 1 to trials do
+        let rng = Rng.create ((n * 131) + seed) in
+        let m = 3 + Rng.int rng 10 in
+        let pts = Dsp_instance.Generators.uniform_pts rng ~n ~machines:m ~max_p:20 in
+        let sched = Dsp_pts.List_scheduling.schedule pts in
+        match Dsp_transform.Transform.roundtrip_schedule sched with
+        | Ok back ->
+            if Result.is_ok (Pts.Schedule.validate back) then incr ok;
+            if Pts.Schedule.makespan back <= Pts.Schedule.makespan sched then
+              incr preserved
+        | Error _ -> ()
+      done;
+      Printf.printf "%-8d %8d %9.1f%% %13.1f%%\n" n trials
+        (100.0 *. float_of_int !ok /. float_of_int trials)
+        (100.0 *. float_of_int !preserved /. float_of_int trials))
+    [ 16; 64; 256; 512 ]
+
+let experiments = [ ("E2", e2); ("E3", e3) ]

@@ -1,5 +1,8 @@
-(* Benchmark harness: one experiment per table/figure of the
-   reproduction (see DESIGN.md section 4 and EXPERIMENTS.md).
+(* Benchmark harness dispatcher.  The experiments themselves live in
+   bench/experiments/ (library dsp_bench), one module per paper
+   table/figure; each exports an association list of (id, thunk).
+   This file only assembles the registry-style list, parses argv, and
+   writes BENCH.json.
 
    Usage:
      dune exec bench/main.exe                 # all experiments + kernel + micro
@@ -7,732 +10,23 @@
      dune exec bench/main.exe -- kernel       # packing-kernel ablation only
      dune exec bench/main.exe -- kernel-smoke # tiny kernel run for CI
      dune exec bench/main.exe -- micro        # bechamel micro-benchmarks only
+     dune exec bench/main.exe -- counters     # per-solver Instr counters only
 
    Every run also writes BENCH.json (override the path with the
-   BENCH_JSON environment variable): per-experiment wall-clock plus
-   the metrics individual experiments record (kernel speedups and
-   peaks, E4 node counts), so subsequent changes have a machine-
-   readable perf baseline to regress against. *)
+   BENCH_JSON environment variable) under schema dsp-bench/2:
+   per-experiment wall-clock, the metrics individual experiments
+   record (kernel speedups and peaks, E4 node counts), and the
+   per-solver instrumentation counters of the "counters" experiment. *)
 
-open Dsp_core
-module Rng = Dsp_util.Rng
-module Rat = Dsp_util.Rat
-
-let section id title = Printf.printf "\n=== %s: %s ===\n" id title
-
-let algorithms =
-  [
-    ("bfd-height", fun i -> Dsp_algo.Baselines.best_fit_decreasing i);
-    ("ff-doubling", Dsp_algo.Baselines.first_fit_doubling);
-    ("steinberg2", Dsp_algo.Baselines.steinberg2);
-    ("approx53", Dsp_algo.Approx53.solve);
-    ("approx54", fun i -> Dsp_algo.Approx54.solve i);
-  ]
-
-(* E1: the sliced-vs-unsliced integrality gap (Figure 1 / Bladek et
-   al.).  Exact optima of the discovered gap witnesses at several
-   height scales; the literature bound is 5/4. *)
-let e1 () =
-  section "E1" "integrality gap: OPT_SP vs OPT_DSP (paper: family with gap 5/4)";
-  Printf.printf "%-28s %8s %8s %8s\n" "instance" "OPT_DSP" "OPT_SP" "gap";
-  let report name inst =
-    match
-      ( Dsp_exact.Dsp_bb.optimal_height ~node_limit:30_000_000 inst,
-        Dsp_exact.Sp_exact.optimal_height ~node_limit:30_000_000 inst )
-    with
-    | Some d, Some s ->
-        Printf.printf "%-28s %8d %8d %8.4f\n" name d s
-          (float_of_int s /. float_of_int d)
-    | _ -> Printf.printf "%-28s %8s\n" name "budget exhausted"
-  in
-  List.iteri
-    (fun i inst -> report (Printf.sprintf "witness-%d" i) inst)
-    Dsp_instance.Gap_family.slicing_wins;
-  List.iter
-    (fun scale ->
-      report
-        (Printf.sprintf "gap-family scale=%d" scale)
-        (Dsp_instance.Gap_family.instance ~scale))
-    [ 2; 3 ];
-  print_endline
-    "(literature: a family with gap exactly 5/4 exists [Bladek et al.];\n\
-    \ the witnesses above are the largest gaps verifiable exactly at this size)"
-
-(* E2: transformation running times (Lemma 1). *)
-let e2 () =
-  section "E2" "transformation runtimes (Lemma 1: O(n^2 log n) / O(n^2) bounds)";
-  Printf.printf "%-8s %18s %18s\n" "n" "sched->layout (s)" "packing->sched (s)";
-  List.iter
-    (fun n ->
-      let rng = Rng.create (1000 + n) in
-      let pts = Dsp_instance.Generators.uniform_pts rng ~n ~machines:20 ~max_p:30 in
-      let sched = Dsp_pts.List_scheduling.schedule pts in
-      let _, t_layout =
-        Dsp_util.Xutil.timeit (fun () ->
-            Dsp_transform.Transform.schedule_to_layout sched)
-      in
-      let pk = Dsp_transform.Transform.schedule_to_packing sched in
-      let _, t_sched =
-        Dsp_util.Xutil.timeit (fun () ->
-            Dsp_transform.Transform.packing_to_schedule pk ~machines:20)
-      in
-      Printf.printf "%-8d %18.4f %18.4f\n" n t_layout t_sched)
-    [ 64; 128; 256; 512; 1024; 2048 ]
-
-(* E3: Theorem 1 round-trip soundness at scale. *)
-let e3 () =
-  section "E3" "round-trip soundness (Theorem 1)";
-  Printf.printf "%-8s %8s %10s %14s\n" "n" "trials" "valid" "non-worsening";
-  List.iter
-    (fun n ->
-      let trials = 30 in
-      let ok = ref 0 and preserved = ref 0 in
-      for seed = 1 to trials do
-        let rng = Rng.create ((n * 131) + seed) in
-        let m = 3 + Rng.int rng 10 in
-        let pts = Dsp_instance.Generators.uniform_pts rng ~n ~machines:m ~max_p:20 in
-        let sched = Dsp_pts.List_scheduling.schedule pts in
-        match Dsp_transform.Transform.roundtrip_schedule sched with
-        | Ok back ->
-            if Result.is_ok (Pts.Schedule.validate back) then incr ok;
-            if Pts.Schedule.makespan back <= Pts.Schedule.makespan sched then
-              incr preserved
-        | Error _ -> ()
-      done;
-      Printf.printf "%-8d %8d %9.1f%% %13.1f%%\n" n trials
-        (100.0 *. float_of_int !ok /. float_of_int trials)
-        (100.0 *. float_of_int !preserved /. float_of_int trials))
-    [ 16; 64; 256; 512 ]
-
-(* E4: the hardness pipeline — exact cost and approximation behaviour
-   on 3-Partition-derived instances (Theorem 1).  The simplified frame
-   is a relaxation (see Hardness), so 3P solvability is reported next
-   to the exact DSP optimum. *)
-let e4 () =
-  section "E4" "hardness family: 3-Partition -> PTS(m=4) -> DSP (Theorem 1)";
-  Printf.printf "%-18s %5s %5s %9s %11s %6s %6s %6s\n" "instance" "3P?" "OPT"
-    "3P-nodes" "bb-nodes" "bfd" "a53" "a54";
-  let report name tp =
-    let dsp = Dsp_instance.Hardness.to_dsp tp in
-    let solvable, tp_nodes =
-      Dsp_exact.Three_partition.count_nodes
-        ~numbers:tp.Dsp_instance.Hardness.numbers
-        ~bound:tp.Dsp_instance.Hardness.bound
-    in
-    let opt_str, bb_nodes =
-      match Dsp_exact.Dsp_bb.solve_with_stats ~node_limit:50_000_000 dsp with
-      | Some (pk, nodes) -> (string_of_int (Packing.height pk), nodes)
-      | None -> ("?", 50_000_000)
-    in
-    Bench_json.record ~experiment:"E4" (name ^ ".bb_nodes") (Bench_json.Int bb_nodes);
-    Bench_json.record ~experiment:"E4" (name ^ ".tp_nodes") (Bench_json.Int tp_nodes);
-    let h algo = Packing.height (algo dsp) in
-    Printf.printf "%-18s %5s %5s %9d %11d %6d %6d %6d\n" name
-      (if solvable then "yes" else "no")
-      opt_str tp_nodes bb_nodes
-      (h (fun i -> Dsp_algo.Baselines.best_fit_decreasing i))
-      (h Dsp_algo.Approx53.solve)
-      (h (fun i -> Dsp_algo.Approx54.solve i))
-  in
-  List.iter
-    (fun (k, seed) ->
-      let rng = Rng.create seed in
-      report (Printf.sprintf "yes k=%d" k)
-        (Dsp_instance.Hardness.yes_instance rng ~k ~bound:16))
-    [ (2, 1); (3, 2); (4, 3); (5, 4) ];
-  report "no k=3 (mod-3)" (Dsp_instance.Hardness.no_instance ~k:3);
-  report "no k=6 (mod-3)" (Dsp_instance.Hardness.no_instance ~k:6);
-  print_endline
-    "(forward direction of Theorem 1: every 3P yes-instance packs to peak 4;\n\
-    \ recovering 4 exactly is what a pseudo-polynomial ratio < 5/4 would\n\
-    \ need on the full Henning et al. gadget -- see DESIGN.md s3)"
-
-(* E5: Corollary 2 — optimal height under width augmentation. *)
-let e5 () =
-  section "E5" "Corollary 2: optimal-height DSP with width augmentation";
-  Printf.printf "%-8s %8s %8s %11s %10s\n" "n" "height" "OPT(W)" "width-fac"
-    "optimal?";
-  List.iter
-    (fun (n, seed) ->
-      let rng = Rng.create seed in
-      let inst =
-        Dsp_instance.Generators.uniform rng ~n ~width:12 ~max_w:6 ~max_h:6
-      in
-      let r = Dsp_augment.Augment.dsp_with_width_augmentation inst in
-      let opt = Dsp_exact.Dsp_bb.optimal_height ~node_limit:5_000_000 inst in
-      Printf.printf "%-8d %8d %8s %11.3f %10s\n" n r.Dsp_augment.Augment.height
-        (match opt with Some o -> string_of_int o | None -> "?")
-        r.Dsp_augment.Augment.width_factor
-        (match opt with
-        | Some o -> if r.Dsp_augment.Augment.height <= o then "yes" else "NO"
-        | None -> "-"))
-    [ (6, 1); (8, 2); (10, 3); (12, 4); (14, 5) ];
-  print_endline
-    "(paper: factor 3/2+eps with the Jansen-Thoele inner solver; ours uses\n\
-    \ 2-approximate list scheduling, so the certificate is 2 -- DESIGN.md s3)"
-
-(* E6/E7: Corollaries 3 and 4 — optimal makespan under machine
-   augmentation. *)
-let e67 which name solver_result =
-  section which (Printf.sprintf "optimal-makespan PTS, %s" name);
-  Printf.printf "%-10s %10s %8s %10s %10s\n" "n,m" "makespan" "OPT(m)"
-    "mach-fac" "optimal?";
-  List.iter
-    (fun (n, m, seed) ->
-      let rng = Rng.create seed in
-      let pts = Dsp_instance.Generators.uniform_pts rng ~n ~machines:m ~max_p:6 in
-      let r = solver_result pts in
-      let opt = Dsp_exact.Pts_exact.optimal_makespan ~node_limit:3_000_000 pts in
-      Printf.printf "%-10s %10d %8s %10.3f %10s\n"
-        (Printf.sprintf "%d,%d" n m)
-        r.Dsp_augment.Augment.makespan
-        (match opt with Some o -> string_of_int o | None -> "?")
-        r.Dsp_augment.Augment.machine_factor
-        (match opt with
-        | Some o -> if r.Dsp_augment.Augment.makespan <= o then "yes" else "NO"
-        | None -> "-"))
-    [ (5, 3, 1); (6, 4, 2); (7, 4, 3); (8, 5, 4); (9, 5, 5) ]
-
-let e6 () =
-  e67 "E6" "(5/3)-style polynomial inner solver" Dsp_augment.Augment.pts_53
-
-let e7 () =
-  e67 "E7" "(5/4+eps) pseudo-polynomial inner solver" Dsp_augment.Augment.pts_54
-
-(* E8: approximation ratios against exact optima (Theorem 5). *)
-let e8 () =
-  section "E8" "approximation ratios vs exact optimum (Theorem 5)";
-  let families =
-    [
-      ( "uniform",
-        fun seed ->
-          let rng = Rng.create seed in
-          Dsp_instance.Generators.uniform rng
-            ~n:(5 + (seed mod 5))
-            ~width:(8 + (seed mod 6))
-            ~max_w:6 ~max_h:8 );
-      ( "tall-flat",
-        fun seed ->
-          let rng = Rng.create seed in
-          Dsp_instance.Generators.tall_and_flat rng
-            ~n:(5 + (seed mod 4))
-            ~width:12 ~max_h:8 );
-      ( "correlated",
-        fun seed ->
-          let rng = Rng.create seed in
-          Dsp_instance.Generators.correlated rng
-            ~n:(5 + (seed mod 4))
-            ~width:10 ~max_w:6 ~max_h:6 );
-    ]
-  in
-  Printf.printf "%-12s %-12s %8s %8s %8s\n" "family" "algorithm" "avg" "max"
-    "solved";
-  List.iter
-    (fun (fam, gen) ->
-      let instances =
-        List.filter_map
-          (fun seed ->
-            let inst = gen seed in
-            match Dsp_exact.Dsp_bb.optimal_height ~node_limit:2_000_000 inst with
-            | Some opt when opt > 0 -> Some (inst, opt)
-            | _ -> None)
-          (Dsp_util.Xutil.range 0 25)
-      in
-      List.iter
-        (fun (name, algo) ->
-          let ratios =
-            List.map
-              (fun (inst, opt) ->
-                float_of_int (Packing.height (algo inst)) /. float_of_int opt)
-              instances
-          in
-          let avg =
-            List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
-          in
-          Printf.printf "%-12s %-12s %8.3f %8.3f %8d\n" fam name avg
-            (List.fold_left max 1.0 ratios)
-            (List.length ratios))
-        algorithms)
-    families;
-  Printf.printf "\napprox54 eps sensitivity (uniform family):\n";
-  Printf.printf "%-8s %8s %8s\n" "eps" "avg" "max";
-  List.iter
-    (fun (label, eps) ->
-      let ratios =
-        List.filter_map
-          (fun seed ->
-            let rng = Rng.create seed in
-            let inst =
-              Dsp_instance.Generators.uniform rng ~n:7 ~width:10 ~max_w:6 ~max_h:8
-            in
-            match Dsp_exact.Dsp_bb.optimal_height ~node_limit:2_000_000 inst with
-            | Some opt when opt > 0 ->
-                Some
-                  (float_of_int
-                     (Packing.height (Dsp_algo.Approx54.solve ~eps inst))
-                  /. float_of_int opt)
-            | _ -> None)
-          (Dsp_util.Xutil.range 0 20)
-      in
-      let avg =
-        List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
-      in
-      Printf.printf "%-8s %8.3f %8.3f\n" label avg (List.fold_left max 1.0 ratios))
-    [ ("1/4", Rat.make 1 4); ("1/8", Rat.make 1 8); ("1/16", Rat.make 1 16) ]
-
-(* E9: running-time scaling of the (5/4+eps) algorithm. *)
-let e9 () =
-  section "E9" "approx54 runtime scaling (Theorem 5: O(n log n) * W^{O_eps(1)})";
-  Printf.printf "n sweep at W=60:\n%-8s %10s %8s\n" "n" "seconds" "guesses";
-  List.iter
-    (fun n ->
-      let rng = Rng.create (77 + n) in
-      let inst =
-        Dsp_instance.Generators.uniform rng ~n ~width:60 ~max_w:20 ~max_h:30
-      in
-      let (_, stats), secs =
-        Dsp_util.Xutil.timeit (fun () -> Dsp_algo.Approx54.solve_with_stats inst)
-      in
-      Printf.printf "%-8d %10.4f %8d\n" n secs stats.Dsp_algo.Approx54.guesses)
-    [ 50; 100; 200; 400; 800 ];
-  Printf.printf "W sweep at n=100:\n%-8s %10s\n" "W" "seconds";
-  List.iter
-    (fun w ->
-      let rng = Rng.create (99 + w) in
-      let inst =
-        Dsp_instance.Generators.uniform rng ~n:100 ~width:w ~max_w:(max 1 (w / 3))
-          ~max_h:30
-      in
-      let _, secs = Dsp_util.Xutil.timeit (fun () -> Dsp_algo.Approx54.solve inst) in
-      Printf.printf "%-8d %10.4f\n" w secs)
-    [ 30; 60; 120; 240; 480 ]
-
-(* E10: the smart-grid case study (the paper's motivation). *)
-let e10 () =
-  section "E10" "smart-grid peak shaving (paper section 1)";
-  Printf.printf "%-12s %6s %8s %-10s %8s %10s\n" "households" "runs" "naive"
-    "algorithm" "peak" "reduction";
-  List.iter
-    (fun households ->
-      let rng = Rng.create (2024 + households) in
-      let runs = Dsp_smartgrid.Smartgrid.simulate_day rng ~households in
-      List.iter
-        (fun (name, algo) ->
-          let r = Dsp_smartgrid.Smartgrid.evaluate runs ~scheduler:algo in
-          Printf.printf "%-12d %6d %8d %-10s %8d %9.1f%%\n" households
-            r.Dsp_smartgrid.Smartgrid.runs r.Dsp_smartgrid.Smartgrid.naive_peak
-            name r.Dsp_smartgrid.Smartgrid.scheduled_peak
-            r.Dsp_smartgrid.Smartgrid.reduction_percent)
-        [
-          ("bfd", fun i -> Dsp_algo.Baselines.best_fit_decreasing i);
-          ("approx53", Dsp_algo.Approx53.solve);
-          ("approx54", fun i -> Dsp_algo.Approx54.solve i);
-        ])
-    [ 10; 25; 50 ]
-
-(* E11: the Steinberg substrate — measured height vs the theorem's
-   bound. *)
-let e11 () =
-  section "E11" "Steinberg packer vs the Steinberg bound (substrate check)";
-  Printf.printf "%-10s %8s %8s %10s\n" "family" "avg" "max" "valid";
-  List.iter
-    (fun (fam, max_w, max_h) ->
-      let ratios = ref [] and valid = ref 0 and total = ref 0 in
-      for seed = 0 to 40 do
-        let rng = Rng.create (seed * 13) in
-        let inst =
-          Dsp_instance.Generators.uniform rng ~n:(8 + (seed mod 8)) ~width:20
-            ~max_w ~max_h
-        in
-        let pk = Dsp_sp.Steinberg.pack inst in
-        incr total;
-        if Result.is_ok (Rect_packing.validate pk) then incr valid;
-        let bound = max 1 (Dsp_sp.Steinberg.height_bound inst) in
-        ratios :=
-          (float_of_int (Rect_packing.height pk) /. float_of_int bound)
-          :: !ratios
-      done;
-      let avg =
-        List.fold_left ( +. ) 0.0 !ratios /. float_of_int (List.length !ratios)
-      in
-      Printf.printf "%-10s %8.3f %8.3f %7d/%d\n" fam avg
-        (List.fold_left max 0.0 !ratios)
-        !valid !total)
-    [ ("small", 5, 5); ("wide", 15, 4); ("tall", 4, 15) ];
-  print_endline "(ratio <= 1 means the packer met Steinberg's theorem bound)"
-
-(* E12: ablation — how much slicing buys, and the structured
-   algorithm vs plain greedy. *)
-let e12 () =
-  section "E12" "ablation: slicing benefit and structured vs greedy";
-  let gaps = ref [] and strict = ref 0 and total = ref 0 in
-  for seed = 0 to 120 do
-    let rng = Rng.create (seed * 7) in
-    let inst =
-      Dsp_instance.Generators.uniform rng
-        ~n:(5 + (seed mod 4))
-        ~width:(5 + (seed mod 3))
-        ~max_w:4 ~max_h:6
-    in
-    match
-      ( Dsp_exact.Dsp_bb.optimal_height ~node_limit:1_000_000 inst,
-        Dsp_exact.Sp_exact.optimal_height ~node_limit:2_000_000 inst )
-    with
-    | Some d, Some s when d > 0 ->
-        incr total;
-        if s > d then incr strict;
-        gaps := (float_of_int s /. float_of_int d) :: !gaps
-    | _ -> ()
-  done;
-  let avg = List.fold_left ( +. ) 0.0 !gaps /. float_of_int (List.length !gaps) in
-  Printf.printf
-    "random tiny instances: mean gap %.4f, max gap %.4f, strict gap on %d/%d\n"
-    avg
-    (List.fold_left max 1.0 !gaps)
-    !strict !total;
-  Printf.printf
-    "curated witnesses (Gap_family.slicing_wins): %d instances, all with a\n\
-    \ strict gap (verified by E1) -- strict gaps are adversarial corners\n"
-    (List.length Dsp_instance.Gap_family.slicing_wins);
-  let structured = ref 0.0 and greedy = ref 0.0 and cnt = ref 0 in
-  for seed = 0 to 15 do
-    let rng = Rng.create (seed * 31) in
-    let inst =
-      Dsp_instance.Generators.tall_and_flat rng ~n:40 ~width:40 ~max_h:20
-    in
-    let h54 = float_of_int (Packing.height (Dsp_algo.Approx54.solve inst)) in
-    let hbfd =
-      float_of_int (Packing.height (Dsp_algo.Baselines.best_fit_decreasing inst))
-    in
-    let lb = float_of_int (Instance.lower_bound inst) in
-    structured := !structured +. (h54 /. lb);
-    greedy := !greedy +. (hbfd /. lb);
-    incr cnt
-  done;
-  Printf.printf
-    "tall-flat n=40: approx54 %.3f x LB vs plain greedy %.3f x LB (avg of %d)\n"
-    (!structured /. float_of_int !cnt)
-    (!greedy /. float_of_int !cnt)
-    !cnt
-
-(* E13: the future-work extensions — 90-degree rotations and
-   moldable jobs (paper conclusion). *)
-let e13 () =
-  section "E13" "extensions: 90-degree rotations and moldable jobs";
-  Printf.printf "rotations (exact optima, small instances):\n";
-  Printf.printf "%-8s %10s %12s %10s\n" "seed" "fixed-OPT" "rotated-OPT" "greedy";
-  List.iter
-    (fun seed ->
-      let rng = Rng.create seed in
-      let inst =
-        Dsp_instance.Generators.uniform rng ~n:5 ~width:8 ~max_w:5 ~max_h:7
-      in
-      match Dsp_algo.Rotations.rotation_gain ~node_limit:500_000 inst with
-      | Some (fixed, rotated) ->
-          let greedy, _ = Dsp_algo.Rotations.best_fit_rotating inst in
-          Printf.printf "%-8d %10d %12d %10d\n" seed fixed rotated
-            (Packing.height greedy)
-      | None -> Printf.printf "%-8d %10s\n" seed "budget exhausted")
-    [ 1; 2; 3; 4; 5; 6 ];
-  Printf.printf "moldable jobs (work-based tables):\n";
-  Printf.printf "%-8s %8s %12s %12s %12s\n" "m" "jobs" "rigid-q1" "two-phase"
-    "exact-mold";
-  List.iter
-    (fun (m, works, seed) ->
-      let _ = seed in
-      let t = Dsp_pts.Moldable.make_work_based ~machines:m ~work:works in
-      let rigid = Dsp_pts.Moldable.allot t (Array.make (List.length works) 1) in
-      let rigid_opt =
-        match Dsp_exact.Pts_exact.optimal_makespan ~node_limit:500_000 rigid with
-        | Some v -> string_of_int v
-        | None -> "?"
-      in
-      let exact =
-        match Dsp_pts.Moldable.optimal_makespan ~node_limit:300_000 t with
-        | Some (v, _) -> string_of_int v
-        | None -> "?"
-      in
-      Printf.printf "%-8d %8d %12s %12d %12s\n" m (List.length works) rigid_opt
-        (Dsp_pts.Moldable.makespan t)
-        exact)
-    [
-      (3, [ 9; 7; 5; 4 ], 1);
-      (4, [ 12; 9; 6; 5; 4 ], 2);
-      (4, [ 16; 16; 4; 4 ], 3);
-      (5, [ 20; 10; 10; 5 ], 4);
-    ]
-
-(* E14: the structure theorem in practice — Lemma 4's start-point
-   reduction and Lemma 5's box partition applied to exact optimal
-   packings. *)
-let e14 () =
-  section "E14" "structural lemmas 4/5 on exact optimal packings";
-  Printf.printf "%-6s %8s %8s %10s %8s %8s %8s %10s\n" "seed" "peak" "snapped"
-    "h-starts" "largeB" "horizB" "tvB" "tv-bound";
-  List.iter
-    (fun seed ->
-      let rng = Rng.create seed in
-      (* A mix with genuinely horizontal items (flat and wide): the
-         horizontal class needs h <= mu*OPT, so the optimum must be
-         large relative to the flat items' heights. *)
-      let tall =
-        List.init 5 (fun _ -> (Rng.int_in rng 2 6, Rng.int_in rng 40 70))
-      in
-      let flats =
-        List.init (4 + (seed mod 3)) (fun _ ->
-            (Rng.int_in rng 12 20, 1))
-      in
-      let inst = Instance.of_dims ~width:24 (tall @ flats) in
-      match Dsp_exact.Dsp_bb.solve ~node_limit:3_000_000 inst with
-      | None -> Printf.printf "%-6d budget exhausted\n" seed
-      | Some pk ->
-          let target = Packing.height pk in
-          let p =
-            Dsp_algo.Classify.choose_params inst ~target ~eps:(Rat.make 1 4)
-          in
-          let s = Dsp_algo.Boxes.partition_stats pk p in
-          Printf.printf "%-6d %8d %8d %10d %8d %8d %8d %10d\n" seed
-            s.Dsp_algo.Boxes.peak_before s.Dsp_algo.Boxes.peak_after
-            s.Dsp_algo.Boxes.horizontal_start_points
-            s.Dsp_algo.Boxes.n_large_boxes s.Dsp_algo.Boxes.n_horizontal_boxes
-            s.Dsp_algo.Boxes.n_tall_vertical_boxes s.Dsp_algo.Boxes.tv_box_bound)
-    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
-  print_endline
-    "(Lemma 4: snapped peak <= peak + O(eps)*OPT; Lemma 5: box counts are\n\
-    \ instance-independent, bounded by the O_eps(1) expressions shown)"
-
-(* E15: Lemma 8's three-line assignment on random feasible tall
-   boxes: how often the normalized schedule satisfies all properties
-   and how many repair swaps it needs. *)
-let e15 () =
-  section "E15" "Lemma 8 tall-item assignment on random boxes";
-  Printf.printf "%-10s %8s %8s %10s\n" "quarter" "boxes" "verified" "avg-swaps";
-  List.iter
-    (fun quarter ->
-      let rng = Rng.create (40 + quarter) in
-      let ok = ref 0 and total = ref 0 and swaps = ref 0 in
-      for _ = 1 to 200 do
-        let box_height = (3 * quarter) + Rng.int_in rng 1 quarter in
-        let len = Rng.int_in rng 6 16 in
-        let profile = Array.make len 0 in
-        let items = ref [] in
-        let id = ref 0 in
-        for _ = 1 to 8 do
-          let w = Rng.int_in rng 1 (max 1 (len / 2)) in
-          let h = Rng.int_in rng (quarter + 1) box_height in
-          let rec try_start s =
-            if s + w > len then ()
-            else begin
-              let fits = ref true in
-              for x = s to s + w - 1 do
-                if profile.(x) + h > box_height then fits := false
-              done;
-              if !fits then begin
-                for x = s to s + w - 1 do
-                  profile.(x) <- profile.(x) + h
-                done;
-                items := (Item.make ~id:!id ~w ~h, s) :: !items;
-                incr id
-              end
-              else try_start (s + 1)
-            end
-          in
-          try_start 0
-        done;
-        if !items <> [] then begin
-          incr total;
-          let a =
-            Dsp_algo.Tall_assignment.assign ~box_height ~quarter ~items:!items
-          in
-          swaps := !swaps + a.Dsp_algo.Tall_assignment.repairs;
-          match
-            Dsp_algo.Tall_assignment.verify ~box_height ~quarter ~items:!items a
-          with
-          | Ok () -> incr ok
-          | Error _ -> ()
-        end
-      done;
-      Printf.printf "%-10d %8d %7d%% %10.2f\n" quarter !total
-        (100 * !ok / max 1 !total)
-        (float_of_int !swaps /. float_of_int (max 1 !total)))
-    [ 2; 3; 4; 5 ]
-
-(* kernel: ablation of the segment-tree packing kernel against the
-   naive flat-array profile on identical workloads.  Best-fit
-   decreasing is the acceptance metric (the kernel replaces an
-   O(W * w) scan per item by an O(W) sliding-window maximum); first
-   fit additionally exercises the skip-ahead descent.  Both sides
-   place items in the same order with the same tie-breaks, so the
-   resulting peaks must agree exactly. *)
-let kernel_at ~experiment widths () =
-  section "kernel" "segment-tree packing kernel vs naive profile (same placements)";
-  Printf.printf "%-8s %6s | %11s %11s %8s | %11s %11s %8s | %6s\n" "W" "n"
-    "bfd-naive" "bfd-kernel" "speedup" "ff-naive" "ff-kernel" "speedup" "peak";
-  List.iter
-    (fun w ->
-      let n = max 40 (w / 16) in
-      let rng = Rng.create (555 + w) in
-      let inst =
-        Dsp_instance.Generators.uniform rng ~n ~width:w ~max_w:(max 2 (w / 10))
-          ~max_h:50
-      in
-      let order =
-        Array.to_list inst.Instance.items |> List.sort Item.compare_by_height_desc
-      in
-      (* Best-fit decreasing, naive reference: full window scan per start. *)
-      let bfd_naive () =
-        let p = Profile.Naive.create w in
-        List.iter
-          (fun (it : Item.t) ->
-            let best = ref 0 and best_peak = ref max_int in
-            for s = 0 to w - it.Item.w do
-              let pk = Profile.Naive.peak_in p ~start:s ~len:it.Item.w in
-              if pk < !best_peak then begin
-                best_peak := pk;
-                best := s
-              end
-            done;
-            Profile.Naive.add_item p it ~start:!best)
-          order;
-        Profile.Naive.peak p
-      in
-      let bfd_kernel () =
-        let st = Dsp_algo.Budget_fit.create inst in
-        List.iter
-          (fun it -> ignore (Dsp_algo.Budget_fit.best_fit st it ~budget:max_int))
-          order;
-        Dsp_algo.Budget_fit.peak st
-      in
-      let kernel_peak, bfd_kernel_s = Dsp_util.Xutil.timeit bfd_kernel in
-      let naive_peak, bfd_naive_s = Dsp_util.Xutil.timeit bfd_naive in
-      (* First fit under a finite budget (the greedy peak), naive s+1
-         stepping vs kernel skip-ahead; same budget, same order. *)
-      let budget = kernel_peak in
-      let ff_naive () =
-        let p = Profile.Naive.create w in
-        let placed = ref 0 in
-        List.iter
-          (fun (it : Item.t) ->
-            let rec go s =
-              if s > w - it.Item.w then ()
-              else if
-                Profile.Naive.peak_in p ~start:s ~len:it.Item.w + it.Item.h
-                <= budget
-              then begin
-                Profile.Naive.add_item p it ~start:s;
-                incr placed
-              end
-              else go (s + 1)
-            in
-            go 0)
-          order;
-        !placed
-      in
-      let ff_kernel () =
-        let st = Dsp_algo.Budget_fit.create inst in
-        let placed = ref 0 in
-        List.iter
-          (fun it -> if Dsp_algo.Budget_fit.first_fit st it ~budget then incr placed)
-          order;
-        !placed
-      in
-      let ff_kernel_placed, ff_kernel_s = Dsp_util.Xutil.timeit ff_kernel in
-      let ff_naive_placed, ff_naive_s = Dsp_util.Xutil.timeit ff_naive in
-      let bfd_speedup = bfd_naive_s /. Float.max 1e-9 bfd_kernel_s in
-      let ff_speedup = ff_naive_s /. Float.max 1e-9 ff_kernel_s in
-      Printf.printf "%-8d %6d | %10.4fs %10.4fs %7.1fx | %10.4fs %10.4fs %7.1fx | %6d\n"
-        w n bfd_naive_s bfd_kernel_s bfd_speedup ff_naive_s ff_kernel_s ff_speedup
-        kernel_peak;
-      if naive_peak <> kernel_peak then
-        Printf.printf "  !! peak mismatch: naive=%d kernel=%d\n" naive_peak
-          kernel_peak;
-      if ff_naive_placed <> ff_kernel_placed then
-        Printf.printf "  !! first-fit placement mismatch: naive=%d kernel=%d\n"
-          ff_naive_placed ff_kernel_placed;
-      let key fmt = Printf.sprintf "W%d.%s" w fmt in
-      let rec_f k v = Bench_json.record ~experiment (key k) (Bench_json.Float v) in
-      let rec_i k v = Bench_json.record ~experiment (key k) (Bench_json.Int v) in
-      rec_i "n" n;
-      rec_f "bfd_naive_seconds" bfd_naive_s;
-      rec_f "bfd_kernel_seconds" bfd_kernel_s;
-      rec_f "bfd_speedup" bfd_speedup;
-      rec_f "ff_naive_seconds" ff_naive_s;
-      rec_f "ff_kernel_seconds" ff_kernel_s;
-      rec_f "ff_speedup" ff_speedup;
-      rec_i "peak" kernel_peak;
-      rec_i "peaks_agree" (if naive_peak = kernel_peak then 1 else 0))
-    widths
-
-let kernel () = kernel_at ~experiment:"kernel" [ 1000; 5000 ] ()
-let kernel_smoke () = kernel_at ~experiment:"kernel-smoke" [ 200 ] ()
-
-(* Bechamel micro-benchmarks: data-structure and primitive costs. *)
-let micro () =
-  section "micro" "bechamel micro-benchmarks (ns per run, OLS estimate)";
-  let open Bechamel in
-  let rng = Rng.create 7 in
-  let inst =
-    Dsp_instance.Generators.uniform rng ~n:200 ~width:500 ~max_w:60 ~max_h:30
-  in
-  let starts =
-    Array.map
-      (fun (it : Item.t) -> Rng.int rng (500 - it.Item.w + 1))
-      inst.Instance.items
-  in
-  let seg_filled () =
-    let t = Segtree.create 500 in
-    Array.iteri
-      (fun i s ->
-        let it = Instance.item inst i in
-        Segtree.range_add t ~lo:s ~hi:(s + it.Item.w) it.Item.h)
-      starts;
-    t
-  in
-  let profile = Profile.of_starts inst starts in
-  let segtree = seg_filled () in
-  let tests =
-    [
-      Test.make ~name:"profile-array-rebuild"
-        (Staged.stage (fun () -> ignore (Profile.of_starts inst starts)));
-      Test.make ~name:"segtree-rebuild" (Staged.stage (fun () -> ignore (seg_filled ())));
-      Test.make ~name:"profile-peak-scan"
-        (Staged.stage (fun () -> ignore (Profile.peak profile)));
-      Test.make ~name:"segtree-range-max"
-        (Staged.stage (fun () -> ignore (Segtree.max_all segtree)));
-      Test.make ~name:"profile-window-peak"
-        (Staged.stage (fun () -> ignore (Profile.peak_in profile ~start:100 ~len:60)));
-      Test.make ~name:"segtree-window-max"
-        (Staged.stage (fun () ->
-             ignore (Segtree.range_max segtree ~lo:100 ~hi:160)));
-      Test.make ~name:"bfd-n200"
-        (Staged.stage (fun () ->
-             ignore (Dsp_algo.Baselines.best_fit_decreasing inst)));
-    ]
-  in
-  let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let res = Analyze.all ols (List.hd instances) raw in
-      Hashtbl.iter
-        (fun name v ->
-          match Analyze.OLS.estimates v with
-          | Some [ est ] -> Printf.printf "%-28s %14.1f ns/run\n" name est
-          | _ -> Printf.printf "%-28s (no estimate)\n" name)
-        res)
-    tests
+open Dsp_bench
 
 let experiments =
-  [
-    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15);
-    ("kernel", kernel); ("kernel-smoke", kernel_smoke); ("micro", micro);
-  ]
+  Exp_gap.experiments @ Exp_transform.experiments @ Exp_hardness.experiments
+  @ Exp_augment.experiments @ Exp_ratios.experiments @ Exp_scaling.experiments
+  @ Exp_smartgrid.experiments @ Exp_steinberg.experiments
+  @ Exp_ablation.experiments @ Exp_extensions.experiments
+  @ Exp_structure.experiments @ Exp_kernel.experiments @ Exp_micro.experiments
+  @ Exp_counters.experiments
 
 let run_experiment (name, f) =
   let (), seconds = Dsp_util.Xutil.timeit f in

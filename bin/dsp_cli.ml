@@ -1,11 +1,17 @@
 (* dsp — command-line front end for the Demand Strip Packing library.
 
-   Subcommands: generate, solve, compare, exact, gap, transform,
+   Subcommands: list, generate, solve, compare, exact, gap, transform,
    smartgrid.  Instances travel as the plain-text format of
-   {!Dsp_instance.Io}. *)
+   {!Dsp_instance.Io}.  Every algorithm the CLI knows about comes from
+   the central solver registry ({!Dsp_engine.Registry}): solvers
+   registered there appear in [list], [solve --algo], and [compare]
+   automatically. *)
 
 open Cmdliner
 open Dsp_core
+module Registry = Dsp_engine.Registry
+module Solver = Dsp_engine.Solver
+module Report = Dsp_engine.Report
 
 let read_instance path =
   let text =
@@ -18,26 +24,54 @@ let read_instance path =
       Printf.eprintf "error: %s\n" msg;
       exit 2
 
-let algorithms =
-  [
-    ("bfd", fun i -> Dsp_algo.Baselines.best_fit_decreasing i);
-    ("ff-doubling", Dsp_algo.Baselines.first_fit_doubling);
-    ("steinberg", Dsp_algo.Baselines.steinberg2);
-    ("approx53", Dsp_algo.Approx53.solve);
-    ("approx54", fun i -> Dsp_algo.Approx54.solve i);
-  ]
+(* Pre-registry CLI spellings, kept so documented invocations survive
+   the rename; the registry stays the only table defining solvers. *)
+let aliases = [ ("bfd", "bfd-height"); ("steinberg", "steinberg2") ]
 
-let algo_conv =
+let solver_conv =
   let parse s =
-    match List.assoc_opt s algorithms with
-    | Some f -> Ok (s, f)
+    let s = Option.value (List.assoc_opt s aliases) ~default:s in
+    match Registry.find s with
+    | Some solver -> Ok solver
     | None ->
         Error
           (`Msg
             (Printf.sprintf "unknown algorithm %S (expected %s)" s
-               (String.concat "|" (List.map fst algorithms))))
+               (String.concat "|" (Registry.names ()))))
   in
-  Arg.conv (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
+  Arg.conv
+    (parse, fun fmt (s : Solver.t) -> Format.pp_print_string fmt s.Solver.name)
+
+let budget_nodes_arg =
+  Arg.(
+    value
+    & opt int Solver.default_node_budget
+    & info [ "budget-nodes" ]
+        ~doc:
+          "Node cap for exponential (exact) solvers; 0 excludes them \
+           entirely.")
+
+let print_counters (r : Report.t) =
+  Printf.printf "counters:\n";
+  List.iter (fun (k, v) -> Printf.printf "  %-28s %d\n" k v) r.Report.counters
+
+(* list *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-14s %-10s %-12s %s\n" "name" "family" "complexity"
+      "description";
+    List.iter
+      (fun (s : Solver.t) ->
+        Printf.printf "%-14s %-10s %-12s %s\n" s.Solver.name
+          (Solver.family_name s.Solver.family)
+          (Solver.complexity_name s.Solver.complexity)
+          s.Solver.doc)
+      (Registry.all ())
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every solver in the registry")
+    Term.(const run $ const ())
 
 (* generate *)
 
@@ -78,60 +112,109 @@ let generate_cmd =
 (* solve *)
 
 let solve_cmd =
-  let run (name, algo) path show =
+  let run solver path show stats budget_nodes =
     let inst = read_instance path in
-    let pk = algo inst in
-    (match Packing.validate pk with
-    | Ok () -> ()
-    | Error e ->
-        Printf.eprintf "internal error: invalid packing: %s\n" e;
-        exit 3);
-    Printf.printf "algorithm: %s\npeak: %d\nlower bound: %d\nratio vs LB: %.3f\n"
-      name (Packing.height pk) (Instance.lower_bound inst)
-      (Packing.ratio_to pk ~lower_bound:(Instance.lower_bound inst));
-    if show then print_endline (Profile.render (Packing.profile pk))
+    match Solver.run ~node_budget:budget_nodes solver inst with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 3
+    | Ok r ->
+        Printf.printf
+          "algorithm: %s\npeak: %d\nlower bound: %d\nratio vs LB: %.3f\ntime: \
+           %.4fs\n"
+          r.Report.solver r.Report.peak r.Report.lower_bound r.Report.ratio
+          r.Report.seconds;
+        if stats then print_counters r;
+        if show then
+          print_endline (Profile.render (Packing.profile r.Report.packing))
   in
-  let algo =
+  let solver =
     Arg.(
       value
-      & opt algo_conv ("approx54", fun i -> Dsp_algo.Approx54.solve i)
-      & info [ "algo"; "a" ] ~doc:"algorithm")
+      & opt solver_conv (Registry.find_exn "approx54")
+      & info [ "algo"; "a" ] ~doc:"algorithm (see $(b,dsp list))")
   in
   let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
   let show = Arg.(value & flag & info [ "render" ] ~doc:"render the profile") in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"dump the per-solve counters")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a DSP instance with one algorithm")
-    Term.(const run $ algo $ path $ show)
+    Term.(const run $ solver $ path $ show $ stats $ budget_nodes_arg)
 
 (* compare *)
 
 let compare_cmd =
-  let run path =
+  let run path stats budget_nodes =
     let inst = read_instance path in
-    let lb = Instance.lower_bound inst in
-    Printf.printf "%-14s %6s %8s\n" "algorithm" "peak" "vs LB";
-    List.iter
-      (fun (name, algo) ->
-        let pk = algo inst in
-        Printf.printf "%-14s %6d %8.3f\n" name (Packing.height pk)
-          (Packing.ratio_to pk ~lower_bound:lb))
-      algorithms
+    let solvers =
+      List.filter
+        (fun (s : Solver.t) ->
+          budget_nodes > 0 || s.Solver.complexity <> Solver.Exponential)
+        (Registry.all ())
+    in
+    Printf.printf "%-14s %-10s %6s %8s %10s\n" "algorithm" "family" "peak"
+      "vs LB" "seconds";
+    let reports =
+      List.filter_map
+        (fun (s : Solver.t) ->
+          match Solver.run ~node_budget:(max 1 budget_nodes) s inst with
+          | Ok r ->
+              Printf.printf "%-14s %-10s %6d %8.3f %10.4f\n" s.Solver.name
+                (Solver.family_name s.Solver.family)
+                r.Report.peak r.Report.ratio r.Report.seconds;
+              Some r
+          | Error msg ->
+              Printf.printf "%-14s %-10s %6s %8s %10s (%s)\n" s.Solver.name
+                (Solver.family_name s.Solver.family)
+                "-" "-" "-" msg;
+              None)
+        solvers
+    in
+    (* When the exact solver finished, re-express every ratio against
+       the true optimum. *)
+    (match
+       List.find_opt
+         (fun (r : Report.t) -> (Registry.find_exn r.Report.solver).Solver.family = Solver.Exact)
+         reports
+     with
+    | Some exact when exact.Report.peak > 0 ->
+        Printf.printf "\nvs true OPT = %d:\n" exact.Report.peak;
+        List.iter
+          (fun (r : Report.t) ->
+            Printf.printf "%-14s %8.3f\n" r.Report.solver
+              (float_of_int r.Report.peak /. float_of_int exact.Report.peak))
+          reports
+    | _ -> ());
+    if stats then
+      List.iter
+        (fun r ->
+          print_newline ();
+          print_counters r)
+        reports
   in
   let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"dump per-solver counters")
+  in
   Cmd.v
-    (Cmd.info "compare" ~doc:"Run every algorithm on an instance")
-    Term.(const run $ path)
+    (Cmd.info "compare"
+       ~doc:
+         "Run every registered solver on an instance (exact solvers under the \
+          --budget-nodes cap)")
+    Term.(const run $ path $ stats $ budget_nodes_arg)
 
 (* exact *)
 
 let exact_cmd =
   let run path nodes =
     let inst = read_instance path in
-    match Dsp_exact.Dsp_bb.solve_with_stats ~node_limit:nodes inst with
-    | Some (pk, explored) ->
-        Printf.printf "optimal peak: %d (explored %d nodes)\n" (Packing.height pk)
-          explored
-    | None -> Printf.printf "node budget exhausted (limit %d)\n" nodes
+    match Solver.run ~node_budget:nodes (Registry.find_exn "exact-bb") inst with
+    | Ok r ->
+        Printf.printf "optimal peak: %d (explored %d nodes)\n" r.Report.peak
+          (Report.counter r "bb.nodes")
+    | Error _ -> Printf.printf "node budget exhausted (limit %d)\n" nodes
   in
   let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
   let nodes =
@@ -264,6 +347,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "dsp" ~doc)
           [
+            list_cmd;
             generate_cmd;
             solve_cmd;
             compare_cmd;

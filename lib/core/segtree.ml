@@ -5,6 +5,15 @@ type t = {
   lazy_ : int array; (* pending add for the whole subtree *)
 }
 
+(* Kernel op counters (Dsp_util.Instr): one handle per entry point,
+   bumped per public call, so the engine's per-solve reports show how
+   hard each algorithm leans on the kernel. *)
+let c_range_add = Dsp_util.Instr.counter "segtree.range_add"
+let c_range_max = Dsp_util.Instr.counter "segtree.range_max"
+let c_first_fit = Dsp_util.Instr.counter "segtree.first_fit"
+let c_last_above = Dsp_util.Instr.counter "segtree.find_last_above"
+let c_best_start = Dsp_util.Instr.counter "segtree.best_start"
+
 let create n =
   if n < 1 then invalid_arg "Segtree.create: size must be >= 1";
   let size = ref 1 in
@@ -36,6 +45,7 @@ let rec add_rec t v node_lo node_hi lo hi value =
 
 let range_add t ~lo ~hi value =
   if lo < 0 || hi > t.n || lo > hi then invalid_arg "Segtree.range_add: bad range";
+  Dsp_util.Instr.bump c_range_add;
   if lo < hi then add_rec t 1 0 t.size lo hi value
 
 let rec max_rec t v node_lo node_hi lo hi acc_lazy =
@@ -50,6 +60,7 @@ let rec max_rec t v node_lo node_hi lo hi acc_lazy =
 
 let range_max t ~lo ~hi =
   if lo < 0 || hi > t.n || lo > hi then invalid_arg "Segtree.range_max: bad range";
+  Dsp_util.Instr.bump c_range_max;
   if lo >= hi then 0 else max_rec t 1 0 t.size lo hi 0
 
 let max_all t = range_max t ~lo:0 ~hi:t.n
@@ -95,6 +106,7 @@ let rec last_above_rec t v node_lo node_hi lo hi thr acc =
 let find_last_above t ~lo ~hi threshold =
   if lo < 0 || hi > t.n || lo > hi then
     invalid_arg "Segtree.find_last_above: bad range";
+  Dsp_util.Instr.bump c_last_above;
   let r = last_above_rec t 1 0 t.size lo hi threshold 0 in
   if r < 0 then None else Some r
 
@@ -104,6 +116,7 @@ let find_last_above t ~lo ~hi threshold =
    scan, so a full placement costs O((k + 1) log n) where k is the
    number of violating columns encountered, instead of O(n * len). *)
 let first_fit_from t ~from ~len ~height ~limit =
+  Dsp_util.Instr.bump c_first_fit;
   if len < 1 || len > t.n then None
   else begin
     let thr = limit - height in
@@ -125,6 +138,7 @@ let min_peak_start t ~len ~height ~limit = first_fit_pos t ~len ~height ~limit
 (* Sliding-window maximum (monotonic deque) over an O(n) flatten:
    all window peaks in O(n), versus n range-max queries. *)
 let best_start t ~len =
+  Dsp_util.Instr.bump c_best_start;
   if len < 1 || len > t.n then None
   else begin
     let loads = to_array t in

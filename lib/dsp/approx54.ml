@@ -13,7 +13,14 @@ type stats = {
 
 let floor_frac frac scale = Rat.floor (Rat.mul frac (Rat.of_int scale))
 
+(* One bump per binary-search iteration on the guessed optimum H'
+   (and one per decision attempt), mirroring [stats.guesses] into the
+   shared counter vocabulary of the engine's reports. *)
+let c_guesses = Dsp_util.Instr.counter "approx54.guesses"
+let c_attempts = Dsp_util.Instr.counter "approx54.attempts"
+
 let attempt ?(eps = Rat.make 1 4) (inst : Instance.t) ~target =
+  Dsp_util.Instr.bump c_attempts;
   if target < Instance.lower_bound inst then None
   else begin
     let params = Classify.choose_params inst ~target ~eps in
@@ -210,6 +217,7 @@ let solve_with_stats ?eps (inst : Instance.t) =
     let best = ref None in
     let ok t =
       incr guesses;
+      Dsp_util.Instr.bump c_guesses;
       match attempt ?eps inst ~target:t with
       | Some (pk, stats) ->
           (match !best with

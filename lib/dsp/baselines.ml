@@ -45,12 +45,3 @@ let first_fit_doubling (inst : Instance.t) =
 
 let steinberg2 inst = Rect_packing.to_dsp (Dsp_sp.Steinberg.pack inst)
 let lpt inst = best_fit_decreasing ~order:By_width inst
-
-let all =
-  [
-    ("bfd-height", best_fit_decreasing ~order:By_height);
-    ("bfd-area", best_fit_decreasing ~order:By_area);
-    ("ff-doubling", first_fit_doubling);
-    ("steinberg2", steinberg2);
-    ("lpt-width", lpt);
-  ]

@@ -23,6 +23,7 @@ val first_fit_doubling : Instance.t -> Packing.t
 val steinberg2 : Instance.t -> Packing.t
 val lpt : Instance.t -> Packing.t
 
-val all : (string * (Instance.t -> Packing.t)) list
-(** Named algorithms for benchmark tables (excludes the (5/4+ε) and
-    (5/3)-style algorithms, which live in their own modules). *)
+(** The old [all] table of named algorithms is gone: the solver
+    registry ([Dsp_engine.Registry], [lib/engine]) is the single
+    source of named solvers; [Registry.filter ~family:Baseline ()] is
+    the equivalent view. *)

@@ -2,6 +2,11 @@ open Dsp_core
 
 type state = { inst : Instance.t; profile : Profile.t; starts : int array }
 
+(* Per-probe counters: a probe is one placement attempt (successful or
+   not), the unit the engine's reports aggregate. *)
+let c_first_fit = Dsp_util.Instr.counter "budget_fit.first_fit_probes"
+let c_best_fit = Dsp_util.Instr.counter "budget_fit.best_fit_probes"
+
 let create (inst : Instance.t) =
   {
     inst;
@@ -38,6 +43,7 @@ let to_packing t =
   Packing.make t.inst t.starts
 
 let first_fit t (it : Item.t) ~budget =
+  Dsp_util.Instr.bump c_first_fit;
   if it.w > t.inst.Instance.width then false
   else
     match Profile.first_fit_start t.profile ~len:it.w ~height:it.h ~budget with
@@ -47,6 +53,7 @@ let first_fit t (it : Item.t) ~budget =
     | None -> false
 
 let best_fit t (it : Item.t) ~budget =
+  Dsp_util.Instr.bump c_best_fit;
   if it.w > t.inst.Instance.width then false
   else
     match Profile.best_start t.profile ~len:it.w with

@@ -1,0 +1,37 @@
+open Dsp_core
+
+type family = Baseline | Approx | Exact | Pts
+type complexity = Poly | Pseudo_poly | Exponential
+
+exception Budget_exhausted of string
+
+type t = {
+  name : string;
+  family : family;
+  complexity : complexity;
+  doc : string;
+  solve : node_budget:int -> Instance.t -> Packing.t;
+}
+
+let family_name = function
+  | Baseline -> "baseline"
+  | Approx -> "approx"
+  | Exact -> "exact"
+  | Pts -> "pts"
+
+let complexity_name = function
+  | Poly -> "poly"
+  | Pseudo_poly -> "pseudo-poly"
+  | Exponential -> "exponential"
+
+let default_node_budget = 2_000_000
+
+let run ?(node_budget = default_node_budget) t inst =
+  let before = Dsp_util.Instr.snapshot () in
+  match Dsp_util.Xutil.timeit (fun () -> t.solve ~node_budget inst) with
+  | packing, seconds ->
+      let counters =
+        Dsp_util.Instr.delta ~before ~after:(Dsp_util.Instr.snapshot ())
+      in
+      Ok (Report.make_exn ~solver:t.name ~instance:inst ~packing ~seconds ~counters)
+  | exception Budget_exhausted msg -> Error msg

@@ -1,0 +1,48 @@
+(** Solver descriptions and the instrumented solve wrapper.
+
+    A solver is a named, tagged packing algorithm.  {!run} is the only
+    sanctioned way to execute one: it snapshots the {!Dsp_util.Instr}
+    counters, times the solve, and builds a validated {!Report.t}, so
+    every pipeline gets validation-by-default and per-solve counters
+    for free. *)
+
+open Dsp_core
+
+type family =
+  | Baseline  (** greedy / classical heuristics (BFD, first fit, Steinberg) *)
+  | Approx  (** the paper's structured approximation algorithms *)
+  | Exact  (** complete search for the true optimum *)
+  | Pts  (** solvers routed through the PTS duality of Theorem 1 *)
+
+type complexity = Poly | Pseudo_poly | Exponential
+
+exception Budget_exhausted of string
+(** Raised by a solver whose search budget (e.g. branch-and-bound
+    nodes) ran out before an answer was found.  {!run} converts it
+    into [Error]. *)
+
+type t = {
+  name : string;
+  family : family;
+  complexity : complexity;
+  doc : string;  (** one-line description for [dsp list] *)
+  solve : node_budget:int -> Instance.t -> Packing.t;
+      (** [node_budget] caps search nodes for [Exponential] solvers
+          (which raise {!Budget_exhausted} when it runs out);
+          polynomial solvers ignore it. *)
+}
+
+val family_name : family -> string
+val complexity_name : complexity -> string
+
+val default_node_budget : int
+(** Node cap {!run} applies when the caller gives none (2,000,000 —
+    small enough to return promptly on small instances, large enough
+    to solve them). *)
+
+val run : ?node_budget:int -> t -> Instance.t -> (Report.t, string) result
+(** Execute the solver on the instance: time it, attribute
+    {!Dsp_util.Instr} counter deltas, validate the packing, and build
+    the report.  [Error] carries the budget-exhaustion message when
+    the solver gave up; an {e invalid} packing instead raises
+    [Invalid_argument] — that is a bug in the solver, not a result. *)

@@ -4,6 +4,12 @@ type outcome = Feasible of Packing.t | Infeasible | Node_budget_exhausted
 
 exception Out_of_nodes
 
+(* Global node counter (Dsp_util.Instr): consumers that used to ask
+   [solve_with_stats] for the node count now read the "bb.nodes"
+   counter delta from a solve's report instead.  The local [nodes] ref
+   below survives only to enforce the per-call budget. *)
+let c_nodes = Dsp_util.Instr.counter "bb.nodes"
+
 (* Greedy best-fit by descending height: place each item at the start
    column minimizing the resulting window peak. Used only as an upper
    bound for the binary search. *)
@@ -52,6 +58,7 @@ let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
     in
     let rec go k =
       incr nodes;
+      Dsp_util.Instr.bump c_nodes;
       if !nodes > node_limit then raise Out_of_nodes;
       if k = n then true
       else begin
@@ -105,7 +112,7 @@ let decide ?(node_limit = default_node_limit) inst ~height =
   let nodes = ref 0 in
   decide_internal ~nodes ~node_limit inst ~height
 
-let solve_with_stats ?(node_limit = default_node_limit) inst =
+let solve ?(node_limit = default_node_limit) inst =
   let lo = Instance.lower_bound inst and hi = greedy_height inst in
   let nodes = ref 0 in
   let best = ref None in
@@ -121,11 +128,8 @@ let solve_with_stats ?(node_limit = default_node_limit) inst =
       | Infeasible -> search (mid + 1) hi
       | Node_budget_exhausted -> false
   in
-  if Instance.n_items inst = 0 then Some (Packing.make inst [||], 0)
-  else if search lo hi then
-    match !best with Some pk -> Some (pk, !nodes) | None -> None
+  if Instance.n_items inst = 0 then Some (Packing.make inst [||])
+  else if search lo hi then !best
   else None
-
-let solve ?node_limit inst = Option.map fst (solve_with_stats ?node_limit inst)
 let optimal_height ?node_limit inst =
   Option.map (fun pk -> Packing.height pk) (solve ?node_limit inst)

@@ -30,5 +30,8 @@ val solve : ?node_limit:int -> Instance.t -> Packing.t option
 
 val optimal_height : ?node_limit:int -> Instance.t -> int option
 
-val solve_with_stats : ?node_limit:int -> Instance.t -> (Packing.t * int) option
-(** Optimal packing and total nodes explored. *)
+(** Node counts: every explored node bumps the global ["bb.nodes"]
+    counter ({!Dsp_util.Instr}); callers that want the count of one
+    solve diff {!Dsp_util.Instr.snapshot}s around it (the solver
+    engine's reports do this automatically).  This replaces the old
+    [solve_with_stats] plumbing. *)

@@ -4,6 +4,11 @@ type outcome = Feasible of Rect_packing.t | Infeasible | Node_budget_exhausted
 
 exception Out_of_nodes
 
+(* Shared counter vocabulary (Dsp_util.Instr): x-enumeration and
+   y-feasibility nodes both count as classical-strip-packing search
+   nodes. *)
+let c_nodes = Dsp_util.Instr.counter "sp_bb.nodes"
+
 let x_overlap (a : Item.t) sa (b : Item.t) sb =
   sa < sb + b.w && sb < sa + a.w
 
@@ -38,6 +43,7 @@ let y_search ~nodes ~node_limit (inst : Instance.t) ~starts ~height =
   in
   let rec go k =
     incr nodes;
+    Dsp_util.Instr.bump c_nodes;
     if !nodes > node_limit then raise Out_of_nodes;
     if k = n then true
     else begin
@@ -106,6 +112,7 @@ let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
     in
     let rec go k =
       incr nodes;
+      Dsp_util.Instr.bump c_nodes;
       if !nodes > node_limit then raise Out_of_nodes;
       if k = n then begin
         match y_search ~nodes ~node_limit inst ~starts ~height with

@@ -1,3 +1,5 @@
+let c_nodes = Dsp_util.Instr.counter "three_partition.nodes"
+
 let check ~numbers ~bound =
   let n = Array.length numbers in
   if n mod 3 <> 0 then invalid_arg "Three_partition: need a multiple of 3 numbers";
@@ -20,6 +22,7 @@ let search ~numbers ~bound =
   let rec first_unused i = if i >= n || not used.(i) then i else first_unused (i + 1) in
   let rec go () =
     incr nodes;
+    Dsp_util.Instr.bump c_nodes;
     let a = first_unused 0 in
     if a >= n then true
     else begin

@@ -16,7 +16,12 @@ type tableau = {
   basis : int array;
 }
 
+(* One bump per tableau pivot (both phases): the unit of simplex work
+   the engine's reports aggregate. *)
+let c_pivots = Dsp_util.Instr.counter "simplex.pivots"
+
 let pivot t ~row ~col =
+  Dsp_util.Instr.bump c_pivots;
   let piv = t.tab.(row).(col) in
   assert (Rat.sign piv <> 0);
   let inv = Rat.inv piv in

@@ -1,0 +1,58 @@
+type counter = { cname : string; mutable count : int }
+
+(* Registries are tiny (tens of entries) and touched only at module
+   initialisation and on snapshot/reset, so a Hashtbl is plenty. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let phase_seconds : (string, float ref) Hashtbl.t = Hashtbl.create 8
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { cname = name; count = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let bump c = c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Instr.add: counters are monotone";
+  c.count <- c.count + n
+
+let value c = c.count
+let name c = c.cname
+
+type snapshot = (string * int) list
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () = sorted_bindings counters (fun c -> c.count)
+
+let delta ~before ~after =
+  List.filter_map
+    (fun (name, v) ->
+      let v0 = Option.value (List.assoc_opt name before) ~default:0 in
+      if v > v0 then Some (name, v - v0) else None)
+    after
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.reset phase_seconds
+
+let time phase f =
+  let cell =
+    match Hashtbl.find_opt phase_seconds phase with
+    | Some r -> r
+    | None ->
+        let r = ref 0.0 in
+        Hashtbl.add phase_seconds phase r;
+        r
+  in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> cell := !cell +. (Unix.gettimeofday () -. t0))
+    f
+
+let timers () = sorted_bindings phase_seconds (fun r -> !r)

@@ -1,0 +1,56 @@
+(** Lightweight, always-on instrumentation: named monotonic counters
+    and phase timers.
+
+    The solver engine ({!module:Dsp_engine} in [lib/engine]) snapshots
+    these around every solve and reports the deltas, so the hot paths
+    — {!Dsp_core.Segtree} ops, [Budget_fit] probes, [Dsp_bb] nodes,
+    [Simplex] pivots, [Approx54] binary-search iterations — carry one
+    shared counter vocabulary instead of ad-hoc per-module stats
+    plumbing.
+
+    Cost model: a counter is an [int ref] obtained once at module
+    initialisation; bumping it is a single unboxed increment, cheap
+    enough to stay enabled in production and inside O(log n)
+    kernels.  The global registry is only touched on {!counter}
+    creation and on {!snapshot}/{!reset}. *)
+
+type counter
+(** A named monotonic counter.  Counters are process-global: two
+    {!counter} calls with the same name share state. *)
+
+val counter : string -> counter
+(** Find or create the counter with this name.  Call it once at module
+    initialisation and keep the handle; do not call it in a hot
+    loop. *)
+
+val bump : counter -> unit
+(** Increment by one. *)
+
+val add : counter -> int -> unit
+(** Increment by [n] (negative [n] is rejected: counters are
+    monotone). *)
+
+val value : counter -> int
+val name : counter -> string
+
+type snapshot = (string * int) list
+(** Counter values at one instant, sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val delta : before:snapshot -> after:snapshot -> (string * int) list
+(** Per-counter increase between two snapshots, restricted to counters
+    that moved (all deltas are [> 0]); sorted by name.  Counters
+    created after [before] count from zero. *)
+
+val reset : unit -> unit
+(** Zero every counter and drop every timer.  For test isolation; the
+    engine itself only ever diffs snapshots. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time phase f] runs [f], accumulating its wall-clock seconds under
+    [phase].  Re-entrant on distinct phases; nested calls on the same
+    phase double-count and are the caller's responsibility. *)
+
+val timers : unit -> (string * float) list
+(** Accumulated seconds per phase, sorted by name. *)

@@ -93,26 +93,23 @@ let config_fill_tests =
   ]
 
 let algo_tests =
-  let algorithms =
-    [
-      ("bfd", fun i -> Dsp_algo.Baselines.best_fit_decreasing i);
-      ("ff-doubling", Dsp_algo.Baselines.first_fit_doubling);
-      ("steinberg2", Dsp_algo.Baselines.steinberg2);
-      ("approx53", Dsp_algo.Approx53.solve);
-      ("approx54", fun i -> Dsp_algo.Approx54.solve i);
-    ]
-  in
+  (* The heuristic solvers come from the engine registry — the single
+     algorithm table — rather than a private list. *)
   List.concat_map
-    (fun (name, algo) ->
+    (fun (s : Dsp_engine.Solver.t) ->
+      let name = s.Dsp_engine.Solver.name in
       [
         Helpers.qtest (name ^ " always returns a valid packing")
           (Helpers.instance_arb ~max_width:16 ~max_n:12 ())
           (fun inst ->
-            let pk = algo inst in
+            let pk =
+              s.Dsp_engine.Solver.solve
+                ~node_budget:Dsp_engine.Solver.default_node_budget inst
+            in
             Result.is_ok (Packing.validate pk)
             && Instance.n_items (Packing.instance pk) = Instance.n_items inst);
       ])
-    algorithms
+    (Dsp_engine.Registry.heuristics ())
   @ [
       Helpers.qtest ~count:30 "approx54 stays within 5/4 + eps of optimum"
         (Helpers.tiny_instance_arb ()) (fun inst ->

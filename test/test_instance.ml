@@ -95,6 +95,16 @@ let io_tests =
                  (fun (a : Pts.Job.t) (b : Pts.Job.t) -> a.p = b.p && a.q = b.q)
                  inst.Pts.Inst.jobs inst'.Pts.Inst.jobs
         | Error _ -> false);
+    Helpers.qtest ~count:30 "instance round-trips through a file on disk"
+      (Helpers.instance_arb ()) (fun inst ->
+        let path = Filename.temp_file "dsp_io_test" ".dsp" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Io.write_file path (Io.instance_to_string inst);
+            match Io.instance_of_string (Io.read_file path) with
+            | Ok inst' -> Instance.equal inst inst'
+            | Error _ -> false));
     Alcotest.test_case "parser rejects malformed input" `Quick (fun () ->
         List.iter
           (fun text ->

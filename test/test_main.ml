@@ -21,4 +21,5 @@ let () =
       ("tall-assignment", Test_tall_assignment.suite);
       ("restructure", Test_restructure.suite);
       ("budget-fit", Test_budget_fit.suite);
+      ("engine", Test_engine.suite);
     ]
