@@ -1,19 +1,29 @@
-(* Machine-readable benchmark output (schema dsp-bench/2).
+(* Machine-readable benchmark output (schema dsp-bench/3).
 
    Experiments register metrics (wall-clock seconds, peak heights,
    node counts, speedups) under their experiment id while they run;
    the harness then serializes everything to BENCH.json so later PRs
-   have a perf trajectory to regress against.  Hand-rolled writer: the
-   container has no JSON library and the format is flat.
+   have a perf trajectory to regress against.  Hand-rolled writer and
+   validating reader: the container has no JSON library and the format
+   is flat.
 
-   Schema v2 (documented in EXPERIMENTS.md): unchanged container
-   shape from v1 — {"schema", "experiments": [{"id", <metrics>...}]}
-   — plus the "counters" experiment whose metrics are the per-solver
-   Dsp_util.Instr counter totals over the standard experiment set,
-   under dotted keys "<solver>.<counter>" (see {!record_counters});
-   e.g. "approx54.segtree.range_add", "exact-bb.bb.nodes". *)
+   Schema v3 (documented in EXPERIMENTS.md): same container shape as
+   v2 — {"schema", "experiments": [{"id", <metrics>...}]} — plus
+   degraded entries: an experiment that crashed or timed out still
+   appears, with "status" ("ok" | "crashed") and, when crashed, an
+   "error" string metric, so a partial benchmark run yields a valid,
+   attributable file instead of nothing.  Writes are atomic (temp file
+   in the target directory + rename): a harness killed mid-write never
+   leaves a truncated BENCH.json, and the checkpoint written after
+   every experiment makes the last completed state durable. *)
 
 type value = Int of int | Float of float | String of string | Bool of bool
+
+let schema_version = "dsp-bench/3"
+
+(* Schema versions [load] accepts: the container shape is identical,
+   v3 only adds optional keys. *)
+let known_schemas = [ "dsp-bench/2"; schema_version ]
 
 (* Insertion-ordered: experiment ids in run order, metrics in record
    order within an experiment. *)
@@ -59,9 +69,11 @@ let value_to_string = function
   | String s -> Printf.sprintf "\"%s\"" (escape s)
   | Bool b -> if b then "true" else "false"
 
-let write path =
+let render () =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"schema\": \"dsp-bench/2\",\n  \"experiments\": [";
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"schema\": \"%s\",\n  \"experiments\": ["
+       schema_version);
   List.iteri
     (fun i (id, metrics) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -74,6 +86,258 @@ let write path =
       Buffer.add_string buf "\n    }")
     !experiments;
   Buffer.add_string buf "\n  ]\n}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents buf);
-  close_out oc
+  Buffer.contents buf
+
+(* Atomic write: the temp file lives in the destination directory so
+   the rename cannot cross filesystems; a crash mid-write leaves the
+   old file (or nothing) in place, never a truncated one. *)
+let write path =
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir
+      ("." ^ Filename.basename path ^ ".")
+      ".tmp"
+  in
+  let ok =
+    match output_string oc (render ()) with
+    | () ->
+        close_out oc;
+        true
+    | exception e ->
+        close_out_noerr oc;
+        (try Sys.remove tmp with Sys_error _ -> ());
+        raise e
+  in
+  if ok then Sys.rename tmp path
+
+(* ----- validating reader ----------------------------------------- *)
+
+(* Minimal recursive-descent parser for the JSON subset the writer
+   emits (objects, arrays, strings, numbers, bools, null), tracking
+   line numbers for error messages.  Loading is only used by the
+   schema-validation tests and downstream tooling; it does not need to
+   be fast. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstring of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let pos = ref 0 and line = ref 1 in
+  let len = String.length s in
+  let fail msg = raise (Parse_error (Printf.sprintf "line %d: %s" !line msg)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () =
+    if !pos < len then begin
+      if s.[!pos] = '\n' then incr line;
+      incr pos
+    end
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %C, found %C" c c')
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > len then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some c when c < 128 -> Buffer.add_char buf (Char.chr c)
+              | Some _ -> Buffer.add_char buf '?'
+              | None -> fail (Printf.sprintf "bad \\u escape %S" hex));
+              for _ = 1 to 4 do advance () done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_literal lit v =
+    if !pos + String.length lit <= len && String.sub s !pos (String.length lit) = lit
+    then begin
+      for _ = 1 to String.length lit do advance () done;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Jnum f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Jobj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Jobj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}' in object"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Jlist [] end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                Jlist (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']' in array"
+          in
+          elems []
+        end
+    | Some '"' -> Jstring (parse_string ())
+    | Some 't' -> parse_literal "true" (Jbool true)
+    | Some 'f' -> parse_literal "false" (Jbool false)
+    | Some 'n' -> parse_literal "null" Jnull
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage after document";
+  v
+
+type parsed = {
+  schema : string;
+  parsed_experiments : (string * (string * value) list) list;
+}
+
+(* Validate the container shape, with errors naming the offending
+   experiment/metric. *)
+let of_json = function
+  | Jobj fields -> (
+      match (List.assoc_opt "schema" fields, List.assoc_opt "experiments" fields) with
+      | None, _ -> Error "missing \"schema\" key"
+      | _, None -> Error "missing \"experiments\" key"
+      | Some (Jstring schema), Some (Jlist entries) ->
+          if not (List.mem schema known_schemas) then
+            Error
+              (Printf.sprintf "unknown schema %S (expected one of: %s)" schema
+                 (String.concat ", " known_schemas))
+          else begin
+            let exp_of = function
+              | Jobj fields -> (
+                  match List.assoc_opt "id" fields with
+                  | Some (Jstring id) ->
+                      let metric (k, v) =
+                        if k = "id" then Ok None
+                        else
+                          match v with
+                          | Jnum f when Float.is_integer f && Float.abs f < 1e15 ->
+                              Ok (Some (k, Int (int_of_float f)))
+                          | Jnum f -> Ok (Some (k, Float f))
+                          | Jstring s -> Ok (Some (k, String s))
+                          | Jbool b -> Ok (Some (k, Bool b))
+                          | Jnull -> Ok (Some (k, Float Float.nan))
+                          | Jlist _ | Jobj _ ->
+                              Error
+                                (Printf.sprintf
+                                   "experiment %S: metric %S is not a scalar" id
+                                   k)
+                      in
+                      let rec metrics acc = function
+                        | [] -> Ok (id, List.rev acc)
+                        | kv :: rest -> (
+                            match metric kv with
+                            | Ok (Some m) -> metrics (m :: acc) rest
+                            | Ok None -> metrics acc rest
+                            | Error e -> Error e)
+                      in
+                      metrics [] fields
+                  | Some _ -> Error "experiment entry: \"id\" is not a string"
+                  | None -> Error "experiment entry: missing \"id\"")
+              | _ -> Error "\"experiments\" element is not an object"
+            in
+            let rec all acc = function
+              | [] -> Ok { schema; parsed_experiments = List.rev acc }
+              | e :: rest -> (
+                  match exp_of e with
+                  | Ok x -> all (x :: acc) rest
+                  | Error msg -> Error msg)
+            in
+            all [] entries
+          end
+      | Some (Jstring _), Some _ -> Error "\"experiments\" is not an array"
+      | Some _, _ -> Error "\"schema\" is not a string")
+  | _ -> Error "top-level value is not an object"
+
+let parse_string_result text =
+  match parse_json text with
+  | json -> of_json json
+  | exception Parse_error msg -> Error msg
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> (
+      match parse_string_result text with
+      | Ok p -> Ok p
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg

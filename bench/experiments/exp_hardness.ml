@@ -19,7 +19,7 @@ let e4 () =
     let solvable, tp_nodes =
       Dsp_exact.Three_partition.count_nodes
         ~numbers:tp.Dsp_instance.Hardness.numbers
-        ~bound:tp.Dsp_instance.Hardness.bound
+        ~bound:tp.Dsp_instance.Hardness.bound ()
     in
     let budget = 50_000_000 in
     let opt_str, bb_nodes =

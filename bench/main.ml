@@ -1,8 +1,8 @@
 (* Benchmark harness dispatcher.  The experiments themselves live in
    bench/experiments/ (library dsp_bench), one module per paper
    table/figure; each exports an association list of (id, thunk).
-   This file only assembles the registry-style list, parses argv, and
-   writes BENCH.json.
+   This file only assembles the registry-style list, parses argv, runs
+   each experiment fault-tolerantly, and writes BENCH.json.
 
    Usage:
      dune exec bench/main.exe                 # all experiments + kernel + micro
@@ -11,12 +11,19 @@
      dune exec bench/main.exe -- kernel-smoke # tiny kernel run for CI
      dune exec bench/main.exe -- micro        # bechamel micro-benchmarks only
      dune exec bench/main.exe -- counters     # per-solver Instr counters only
+     dune exec bench/main.exe -- faults       # fault-injection robustness matrix
+     dune exec bench/main.exe -- faults-smoke # CI-sized fault matrix
 
    Every run also writes BENCH.json (override the path with the
-   BENCH_JSON environment variable) under schema dsp-bench/2:
-   per-experiment wall-clock, the metrics individual experiments
-   record (kernel speedups and peaks, E4 node counts), and the
-   per-solver instrumentation counters of the "counters" experiment. *)
+   BENCH_JSON environment variable) under schema dsp-bench/3:
+   per-experiment wall-clock and status, the metrics individual
+   experiments record (kernel speedups and peaks, E4 node counts,
+   fault-matrix outcomes), and the per-solver instrumentation counters
+   of the "counters" experiment.  Crash safety: an experiment that
+   raises is recorded as a degraded entry (status "crashed" plus the
+   error) instead of aborting the run, and the file is checkpointed
+   atomically after every experiment, so a killed harness leaves the
+   last completed state on disk, never a truncated file. *)
 
 open Dsp_bench
 
@@ -26,21 +33,39 @@ let experiments =
   @ Exp_smartgrid.experiments @ Exp_steinberg.experiments
   @ Exp_ablation.experiments @ Exp_extensions.experiments
   @ Exp_structure.experiments @ Exp_kernel.experiments @ Exp_micro.experiments
-  @ Exp_counters.experiments
+  @ Exp_counters.experiments @ Exp_faults.experiments
+
+let bench_path () =
+  Option.value (Sys.getenv_opt "BENCH_JSON") ~default:"BENCH.json"
 
 let run_experiment (name, f) =
-  let (), seconds = Dsp_util.Xutil.timeit f in
-  Bench_json.record ~experiment:name "seconds" (Bench_json.Float seconds)
+  let checkpoint () = Bench_json.write (bench_path ()) in
+  match Dsp_util.Xutil.timeit f with
+  | (), seconds ->
+      Bench_json.record ~experiment:name "seconds" (Bench_json.Float seconds);
+      Bench_json.record ~experiment:name "status" (Bench_json.String "ok");
+      checkpoint ()
+  | exception e ->
+      (* A crashed experiment degrades to a machine-readable entry;
+         the rest of the run proceeds.  Fault injection must not leak
+         into subsequent experiments. *)
+      Dsp_util.Fault.disarm ();
+      let msg = Printexc.to_string e in
+      Printf.printf "\n[%s CRASHED: %s]\n" name msg;
+      Bench_json.record ~experiment:name "status" (Bench_json.String "crashed");
+      Bench_json.record ~experiment:name "error" (Bench_json.String msg);
+      checkpoint ()
 
 let () =
   let ran =
     match Array.to_list Sys.argv |> List.tl with
     | [] ->
-        (* kernel-smoke is the CI-sized variant of kernel; skip it in
-           a full run. *)
+        (* kernel-smoke and faults-smoke are the CI-sized variants of
+           kernel and faults; skip them in a full run. *)
         List.iter
           (fun (name, f) ->
-            if name <> "kernel-smoke" then run_experiment (name, f))
+            if name <> "kernel-smoke" && name <> "faults-smoke" then
+              run_experiment (name, f))
           experiments;
         print_newline ();
         true
@@ -57,7 +82,7 @@ let () =
           false names
   in
   if ran then begin
-    let path = Option.value (Sys.getenv_opt "BENCH_JSON") ~default:"BENCH.json" in
+    let path = bench_path () in
     Bench_json.write path;
     Printf.printf "\nwrote %s\n" path
   end

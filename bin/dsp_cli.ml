@@ -12,6 +12,7 @@ open Dsp_core
 module Registry = Dsp_engine.Registry
 module Solver = Dsp_engine.Solver
 module Report = Dsp_engine.Report
+module Runner = Dsp_engine.Runner
 
 let read_instance path =
   let text =
@@ -20,8 +21,10 @@ let read_instance path =
   in
   match Dsp_instance.Io.instance_of_string text with
   | Ok inst -> inst
-  | Error msg ->
-      Printf.eprintf "error: %s\n" msg;
+  | Error e ->
+      Printf.eprintf "error: %s: %s\n"
+        (if path = "-" then "<stdin>" else path)
+        (Dsp_instance.Io.error_to_string e);
       exit 2
 
 (* Pre-registry CLI spellings, kept so documented invocations survive
@@ -50,6 +53,38 @@ let budget_nodes_arg =
         ~doc:
           "Node cap for exponential (exact) solvers; 0 excludes them \
            entirely.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ]
+        ~doc:
+          "Wall-clock deadline per solve, in milliseconds (cooperative \
+           cancellation: solvers notice at their next checkpoint).")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ]
+        ~doc:
+          "Arm a deterministic fault before solving: \
+           $(i,SITE:ACTION[:AFTER]) where SITE is an instrumentation \
+           counter name, ACTION is raise|stall[MS]|corrupt, and AFTER is \
+           the 1-based hit that fires (e.g. bb.nodes:raise:100).")
+
+let with_injection spec f =
+  match spec with
+  | None -> f ()
+  | Some spec -> (
+      match Dsp_util.Fault.parse_spec spec with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2
+      | Ok plan ->
+          Dsp_util.Fault.arm plan;
+          Fun.protect ~finally:Dsp_util.Fault.disarm f)
 
 let print_counters (r : Report.t) =
   Printf.printf "counters:\n";
@@ -112,21 +147,46 @@ let generate_cmd =
 (* solve *)
 
 let solve_cmd =
-  let run solver path show stats budget_nodes =
+  let print_report show stats (r : Report.t) =
+    Printf.printf
+      "algorithm: %s\npeak: %d\nlower bound: %d\nratio vs LB: %.3f\ntime: \
+       %.4fs\n"
+      r.Report.solver r.Report.peak r.Report.lower_bound r.Report.ratio
+      r.Report.seconds;
+    if stats then print_counters r;
+    if show then print_endline (Profile.render (Packing.profile r.Report.packing))
+  in
+  let run solver path show stats budget_nodes timeout_ms fallback inject =
     let inst = read_instance path in
-    match Solver.run ~node_budget:budget_nodes solver inst with
-    | Error msg ->
-        Printf.eprintf "error: %s\n" msg;
-        exit 3
-    | Ok r ->
-        Printf.printf
-          "algorithm: %s\npeak: %d\nlower bound: %d\nratio vs LB: %.3f\ntime: \
-           %.4fs\n"
-          r.Report.solver r.Report.peak r.Report.lower_bound r.Report.ratio
-          r.Report.seconds;
-        if stats then print_counters r;
-        if show then
-          print_endline (Profile.render (Packing.profile r.Report.packing))
+    with_injection inject (fun () ->
+        match fallback with
+        | Some chain_spec -> (
+            match Runner.parse_chain chain_spec with
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 2
+            | Ok chain ->
+                let res =
+                  Runner.solve ?timeout_ms ~node_budget:budget_nodes ~chain inst
+                in
+                List.iter
+                  (fun f ->
+                    Printf.printf "fallback: %s\n"
+                      (Format.asprintf "%a" Runner.pp_failure f))
+                  res.Runner.failures;
+                if res.Runner.safety_net then
+                  Printf.printf
+                    "fallback: chain exhausted, degraded to safety net\n";
+                print_report show stats res.Runner.report)
+        | None -> (
+            match
+              Runner.run_one ?timeout_ms ~node_budget:budget_nodes solver inst
+            with
+            | Error f ->
+                Printf.eprintf "error: %s\n"
+                  (Format.asprintf "%a" Runner.pp_failure f);
+                exit 3
+            | Ok r -> print_report show stats r))
   in
   let solver =
     Arg.(
@@ -139,14 +199,27 @@ let solve_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"dump the per-solve counters")
   in
+  let fallback =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fallback" ]
+          ~doc:
+            "Comma-separated fallback chain of solver names (e.g. \
+             exact-bb,approx54,bfd-height).  Each stage gets an equal slice \
+             of the remaining deadline; failures degrade to the next stage, \
+             so a packing always comes back.")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a DSP instance with one algorithm")
-    Term.(const run $ solver $ path $ show $ stats $ budget_nodes_arg)
+    Term.(
+      const run $ solver $ path $ show $ stats $ budget_nodes_arg $ timeout_arg
+      $ fallback $ inject_arg)
 
 (* compare *)
 
 let compare_cmd =
-  let run path stats budget_nodes =
+  let run path stats budget_nodes timeout_ms inject =
     let inst = read_instance path in
     let solvers =
       List.filter
@@ -159,16 +232,23 @@ let compare_cmd =
     let reports =
       List.filter_map
         (fun (s : Solver.t) ->
-          match Solver.run ~node_budget:(max 1 budget_nodes) s inst with
+          match
+            with_injection inject (fun () ->
+                Runner.run_one ?timeout_ms ~node_budget:(max 1 budget_nodes) s
+                  inst)
+          with
           | Ok r ->
               Printf.printf "%-14s %-10s %6d %8.3f %10.4f\n" s.Solver.name
                 (Solver.family_name s.Solver.family)
                 r.Report.peak r.Report.ratio r.Report.seconds;
               Some r
-          | Error msg ->
-              Printf.printf "%-14s %-10s %6s %8s %10s (%s)\n" s.Solver.name
+          | Error f ->
+              Printf.printf "%-14s %-10s %6s %8s %10s [%s after %.1fms]\n"
+                s.Solver.name
                 (Solver.family_name s.Solver.family)
-                "-" "-" "-" msg;
+                "-" "-" "-"
+                (Runner.kind_name f.Runner.kind)
+                (f.Runner.seconds *. 1000.);
               None)
         solvers
     in
@@ -202,8 +282,8 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:
          "Run every registered solver on an instance (exact solvers under the \
-          --budget-nodes cap)")
-    Term.(const run $ path $ stats $ budget_nodes_arg)
+          --budget-nodes cap; per-solver --timeout-ms deadline)")
+    Term.(const run $ path $ stats $ budget_nodes_arg $ timeout_arg $ inject_arg)
 
 (* exact *)
 

@@ -18,7 +18,7 @@ let () =
        (Array.to_list (Array.map string_of_int tp.Hardness.numbers)));
 
   (* Solve it exactly and build the witness schedule. *)
-  (match Dsp_exact.Three_partition.solve ~numbers:tp.Hardness.numbers ~bound:tp.Hardness.bound with
+  (match Dsp_exact.Three_partition.solve ~numbers:tp.Hardness.numbers ~bound:tp.Hardness.bound () with
   | None -> print_endline "unexpectedly unsolvable!"
   | Some triples ->
       let sched = Hardness.schedule_of_partition tp ~triples in

@@ -17,7 +17,7 @@ module Naive = struct
         (Printf.sprintf "Profile.add: range [%d,%d) outside strip of width %d"
            start (start + len) (width t));
     for x = start to start + len - 1 do
-      t.loads.(x) <- t.loads.(x) + height
+      t.loads.(x) <- Dsp_util.Xutil.checked_add t.loads.(x) height
     done
 
   let add_item t (it : Item.t) ~start = add t ~start ~len:it.w ~height:it.h

@@ -46,7 +46,14 @@ let rec add_rec t v node_lo node_hi lo hi value =
 let range_add t ~lo ~hi value =
   if lo < 0 || hi > t.n || lo > hi then invalid_arg "Segtree.range_add: bad range";
   Dsp_util.Instr.bump c_range_add;
-  if lo < hi then add_rec t 1 0 t.size lo hi value
+  if lo < hi then begin
+    (* O(1) accumulation overflow guard: a positive add can only push
+       an int past [max_int] through the running maximum, and the root
+       carries exactly that maximum.  (Negative adds cannot raise the
+       max; underflow of untracked minima is out of scope.) *)
+    if value > 0 then ignore (Dsp_util.Xutil.checked_add t.tree.(1) value);
+    add_rec t 1 0 t.size lo hi value
+  end
 
 let rec max_rec t v node_lo node_hi lo hi acc_lazy =
   if hi <= node_lo || node_hi <= lo then min_int

@@ -19,8 +19,9 @@ let floor_frac frac scale = Rat.floor (Rat.mul frac (Rat.of_int scale))
 let c_guesses = Dsp_util.Instr.counter "approx54.guesses"
 let c_attempts = Dsp_util.Instr.counter "approx54.attempts"
 
-let attempt ?(eps = Rat.make 1 4) (inst : Instance.t) ~target =
+let attempt ?(eps = Rat.make 1 4) ?budget (inst : Instance.t) ~target =
   Dsp_util.Instr.bump c_attempts;
+  Dsp_util.Budget.poll_opt budget;
   if target < Instance.lower_bound inst then None
   else begin
     let params = Classify.choose_params inst ~target ~eps in
@@ -54,7 +55,7 @@ let attempt ?(eps = Rat.make 1 4) (inst : Instance.t) ~target =
         begin
           let boxes = Budget_fit.free_boxes st ~cap:b_band in
           let vertical = cls.Classify.vertical in
-          match Config_fill.fill ~boxes ~items:vertical () with
+          match Config_fill.fill ?budget ~boxes ~items:vertical () with
           | Some r ->
               configurations_used := r.Config_fill.configurations_used;
               List.iter
@@ -110,6 +111,9 @@ let attempt ?(eps = Rat.make 1 4) (inst : Instance.t) ~target =
         let rec go prev items =
           incr nodes;
           if !nodes > 200_000 then raise Stop;
+          (* Deadline-only poll: these enumeration nodes have their own
+             cap above and must not consume the budget's node ticks. *)
+          Dsp_util.Budget.poll_opt budget;
           match items with
           | [] ->
               incr leaves;
@@ -194,7 +198,7 @@ let attempt ?(eps = Rat.make 1 4) (inst : Instance.t) ~target =
         Some (pk, stats)
   end
 
-let solve_with_stats ?eps (inst : Instance.t) =
+let solve_with_stats ?eps ?budget (inst : Instance.t) =
   if Instance.n_items inst = 0 then
     ( Packing.make inst [||],
       {
@@ -218,7 +222,7 @@ let solve_with_stats ?eps (inst : Instance.t) =
     let ok t =
       incr guesses;
       Dsp_util.Instr.bump c_guesses;
-      match attempt ?eps inst ~target:t with
+      match attempt ?eps ?budget inst ~target:t with
       | Some (pk, stats) ->
           (match !best with
           | Some (bpk, _, _) when Packing.height bpk <= Packing.height pk -> ()
@@ -246,5 +250,5 @@ let solve_with_stats ?eps (inst : Instance.t) =
           } )
   end
 
-let solve ?eps inst = fst (solve_with_stats ?eps inst)
-let height ?eps inst = Packing.height (solve ?eps inst)
+let solve ?eps ?budget inst = fst (solve_with_stats ?eps ?budget inst)
+let height ?eps ?budget inst = Packing.height (solve ?eps ?budget inst)

@@ -37,7 +37,7 @@ let enumerate_configs heights cap limit =
   in
   match go 0 cap with () -> Some !acc | exception Too_many -> None
 
-let fill ?(max_configs = 4000) ~boxes ~items () =
+let fill ?(max_configs = 4000) ?budget ~boxes ~items () =
   let boxes = Array.of_list boxes in
   let items = List.filter (fun (it : Item.t) -> it.Item.h > 0) items in
   if items = [] then
@@ -95,7 +95,7 @@ let fill ?(max_configs = 4000) ~boxes ~items () =
             for i = 0 to k - 1 do
               b_vec.(nb + i) <- Rat.of_int class_width.(i)
             done;
-            match Simplex.feasible_point ~a ~b:b_vec with
+            match Simplex.feasible_point ?budget ~a ~b:b_vec () with
             | None -> None
             | Some x ->
                 (* Greedy fill of the basic solution, flooring config

@@ -28,6 +28,7 @@ type result = {
 
 val fill :
   ?max_configs:int ->
+  ?budget:Dsp_util.Budget.t ->
   boxes:Budget_fit.free_box list ->
   items:Item.t list ->
   unit ->

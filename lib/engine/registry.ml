@@ -37,8 +37,8 @@ let heuristics () =
 
 (* Built-in solvers. *)
 
-let ignore_budget f ~node_budget inst =
-  let _ = node_budget in
+let ignore_budget f ~budget inst =
+  let _ = budget in
   f inst
 
 (* The Theorem 1 duality put to work as a solver: items become PTS
@@ -80,13 +80,22 @@ let pts_duality (inst : Instance.t) =
     Option.get !best
   end
 
-let exact_bb ~node_budget inst =
-  match Dsp_exact.Dsp_bb.solve ~node_limit:node_budget inst with
+let exact_bb ~budget inst =
+  (* The budget's node cap doubles as the native node limit; native
+     accounting fires first (its checkpoint precedes the budget's in
+     the search loop), keeping the classic exhaustion message, while
+     the budget adds the wall-clock deadline. *)
+  let node_limit =
+    Option.value
+      (Dsp_util.Budget.node_cap budget)
+      ~default:Dsp_exact.Dsp_bb.default_node_limit
+  in
+  match Dsp_exact.Dsp_bb.solve ~node_limit ~budget inst with
   | Some pk -> pk
   | None ->
       raise
         (Solver.Budget_exhausted
-           (Printf.sprintf "exact-bb: node budget %d exhausted" node_budget))
+           (Printf.sprintf "exact-bb: node budget %d exhausted" node_limit))
 
 let () =
   List.iter register
@@ -151,7 +160,9 @@ let () =
         family = Approx;
         complexity = Pseudo_poly;
         doc = "the (5/4+eps) pseudo-polynomial algorithm (Theorem 5)";
-        solve = ignore_budget (fun inst -> Dsp_algo.Approx54.solve inst);
+        (* Deadline-only: the binary search polls the budget but has
+           no node semantics, so the node cap is ignored. *)
+        solve = (fun ~budget inst -> Dsp_algo.Approx54.solve ~budget inst);
       };
       {
         Solver.name = "exact-bb";

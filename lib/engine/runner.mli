@@ -1,0 +1,84 @@
+(** Fault-tolerant solver execution: typed outcomes and declarative
+    fallback chains over the {!Registry}.
+
+    {!Solver.run} answers "what did this solver produce"; [Runner]
+    answers the operational question "get me a validated packing
+    within this deadline, no matter what".  {!run_one} classifies
+    every way a solve can go wrong — deadline, node budget, escaped
+    exception (including {!Dsp_util.Fault.Injected} faults), invalid
+    result — into a typed {!failure} that still carries the partial
+    {!Dsp_util.Instr} deltas and elapsed time, so crashed solves
+    remain observable.  {!solve} runs a fallback chain (e.g.
+    [exact-bb -> approx54 -> bfd-height]), giving each stage a slice
+    of the remaining deadline, and is total: the final heuristic
+    stages cannot time out (no cancellation checkpoints) or fail
+    validation without raising, so a validated report always comes
+    back, annotated with the full failure provenance of the stages
+    that fell through. *)
+
+open Dsp_core
+
+type failure_kind =
+  | Timeout  (** cooperative deadline cancellation fired *)
+  | Budget_exhausted of string  (** node budget ran out (native or budget cap) *)
+  | Solver_error of string  (** an exception escaped the solver *)
+  | Invalid_result of string  (** {!Report.make} rejected the packing *)
+
+type failure = {
+  solver : string;
+  kind : failure_kind;
+  seconds : float;  (** elapsed up to the failure *)
+  counters : (string * int) list;
+      (** partial {!Dsp_util.Instr} deltas — work done before dying *)
+}
+
+type outcome = (Report.t, failure) result
+
+val kind_name : failure_kind -> string
+(** ["timeout"] / ["budget"] / ["error"] / ["invalid"]. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val run_one :
+  ?timeout_ms:int -> ?node_budget:int -> Solver.t -> Instance.t -> outcome
+(** One budgeted solve with the full outcome taxonomy.  Never raises
+    for solver-induced reasons: {!Dsp_util.Budget.Expired},
+    {!Solver.Budget_exhausted}, and arbitrary solver exceptions all
+    map to [Error].  A pending {!Dsp_util.Fault} corruption is applied
+    to the returned packing before validation, which then rejects it
+    ([Invalid_result]) — proving the validation boundary holds. *)
+
+type resolution = {
+  report : Report.t;
+  winner : string;  (** solver that produced [report] *)
+  failures : failure list;  (** stages that fell through, in order *)
+  safety_net : bool;
+      (** [report] came from the implicit final heuristic, not the
+          chain *)
+}
+
+val solve :
+  ?timeout_ms:int ->
+  ?node_budget:int ->
+  ?chain:Solver.t list ->
+  Instance.t ->
+  resolution
+(** Run the fallback chain (default {!default_chain}) under one
+    overall deadline.  Stage [i] of the [k] remaining gets
+    [remaining/(k - i)] of the deadline (equal slices of whatever is
+    left, so an early finisher donates its unused time downstream).
+    If every stage fails, a last-resort un-budgeted ["bfd-height"]
+    solve (polynomial, checkpoint-free — it cannot time out) makes the
+    function total.
+    @raise Invalid_argument on an empty [chain]. *)
+
+val default_chain : unit -> Solver.t list
+(** [exact-bb -> approx54 -> bfd-height]: exact within the budget,
+    else the (5/4+ε) approximation, else the greedy baseline. *)
+
+val parse_chain : string -> (Solver.t list, string) result
+(** Comma-separated registry names, e.g.
+    ["exact-bb,approx54,bfd-height"].  Unknown names are an [Error]
+    listing the registry. *)
+
+val chain_to_string : Solver.t list -> string

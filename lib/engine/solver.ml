@@ -10,7 +10,7 @@ type t = {
   family : family;
   complexity : complexity;
   doc : string;
-  solve : node_budget:int -> Instance.t -> Packing.t;
+  solve : budget:Dsp_util.Budget.t -> Instance.t -> Packing.t;
 }
 
 let family_name = function
@@ -26,12 +26,18 @@ let complexity_name = function
 
 let default_node_budget = 2_000_000
 
-let run ?(node_budget = default_node_budget) t inst =
+let run ?timeout_ms ?(node_budget = default_node_budget) t inst =
+  let budget = Dsp_util.Budget.create ?timeout_ms ~nodes:node_budget () in
   let before = Dsp_util.Instr.snapshot () in
-  match Dsp_util.Xutil.timeit (fun () -> t.solve ~node_budget inst) with
+  match Dsp_util.Xutil.timeit (fun () -> t.solve ~budget inst) with
   | packing, seconds ->
       let counters =
         Dsp_util.Instr.delta ~before ~after:(Dsp_util.Instr.snapshot ())
       in
       Ok (Report.make_exn ~solver:t.name ~instance:inst ~packing ~seconds ~counters)
   | exception Budget_exhausted msg -> Error msg
+  | exception Dsp_util.Budget.Expired reason ->
+      Error
+        (Printf.sprintf "%s: budget expired (%s) after %.0f ms" t.name
+           (Dsp_util.Budget.reason_name reason)
+           (Dsp_util.Budget.elapsed budget *. 1000.))

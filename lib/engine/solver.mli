@@ -26,10 +26,14 @@ type t = {
   family : family;
   complexity : complexity;
   doc : string;  (** one-line description for [dsp list] *)
-  solve : node_budget:int -> Instance.t -> Packing.t;
-      (** [node_budget] caps search nodes for [Exponential] solvers
-          (which raise {!Budget_exhausted} when it runs out);
-          polynomial solvers ignore it. *)
+  solve : budget:Dsp_util.Budget.t -> Instance.t -> Packing.t;
+      (** [budget] carries the wall-clock deadline and node cap.
+          Exponential solvers read {!Dsp_util.Budget.node_cap} as
+          their native node limit (raising {!Budget_exhausted} when it
+          runs out) and thread the budget into their hot loops, whose
+          checkpoints raise {!Dsp_util.Budget.Expired} past the
+          deadline; polynomial solvers may ignore it (they terminate
+          fast regardless). *)
 }
 
 val family_name : family -> string
@@ -40,9 +44,13 @@ val default_node_budget : int
     small enough to return promptly on small instances, large enough
     to solve them). *)
 
-val run : ?node_budget:int -> t -> Instance.t -> (Report.t, string) result
+val run :
+  ?timeout_ms:int -> ?node_budget:int -> t -> Instance.t -> (Report.t, string) result
 (** Execute the solver on the instance: time it, attribute
     {!Dsp_util.Instr} counter deltas, validate the packing, and build
     the report.  [Error] carries the budget-exhaustion message when
-    the solver gave up; an {e invalid} packing instead raises
-    [Invalid_argument] — that is a bug in the solver, not a result. *)
+    the solver gave up (native node budget or the [timeout_ms]
+    deadline); an {e invalid} packing instead raises
+    [Invalid_argument] — that is a bug in the solver, not a result.
+    For a typed outcome and fallback chains use
+    {!Dsp_engine.Runner}. *)

@@ -26,7 +26,7 @@ let greedy_height (inst : Instance.t) =
     order;
   Profile.peak profile
 
-let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
+let decide_internal ~nodes ~node_limit ~budget (inst : Instance.t) ~height =
   let width = inst.Instance.width in
   let n = Instance.n_items inst in
   if Instance.total_area inst > height * width then Infeasible
@@ -60,6 +60,10 @@ let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
       incr nodes;
       Dsp_util.Instr.bump c_nodes;
       if !nodes > node_limit then raise Out_of_nodes;
+      (* Cooperative cancellation: the native node limit above keeps
+         its first-class error, the budget adds the wall-clock
+         deadline (and a node cap for engine-driven solves). *)
+      Dsp_util.Budget.check_opt budget;
       if k = n then true
       else begin
         let it = order.(k) in
@@ -108,11 +112,11 @@ let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
 
 let default_node_limit = 20_000_000
 
-let decide ?(node_limit = default_node_limit) inst ~height =
+let decide ?(node_limit = default_node_limit) ?budget inst ~height =
   let nodes = ref 0 in
-  decide_internal ~nodes ~node_limit inst ~height
+  decide_internal ~nodes ~node_limit ~budget inst ~height
 
-let solve ?(node_limit = default_node_limit) inst =
+let solve ?(node_limit = default_node_limit) ?budget inst =
   let lo = Instance.lower_bound inst and hi = greedy_height inst in
   let nodes = ref 0 in
   let best = ref None in
@@ -121,7 +125,7 @@ let solve ?(node_limit = default_node_limit) inst =
     if lo > hi then true
     else
       let mid = lo + ((hi - lo) / 2) in
-      match decide_internal ~nodes ~node_limit inst ~height:mid with
+      match decide_internal ~nodes ~node_limit ~budget inst ~height:mid with
       | Feasible pk ->
           best := Some pk;
           search lo (mid - 1)
@@ -131,5 +135,6 @@ let solve ?(node_limit = default_node_limit) inst =
   if Instance.n_items inst = 0 then Some (Packing.make inst [||])
   else if search lo hi then !best
   else None
-let optimal_height ?node_limit inst =
-  Option.map (fun pk -> Packing.height pk) (solve ?node_limit inst)
+
+let optimal_height ?node_limit ?budget inst =
+  Option.map (fun pk -> Packing.height pk) (solve ?node_limit ?budget inst)

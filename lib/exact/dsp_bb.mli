@@ -20,15 +20,24 @@ open Dsp_core
 
 type outcome = Feasible of Packing.t | Infeasible | Node_budget_exhausted
 
-val decide : ?node_limit:int -> Instance.t -> height:int -> outcome
-(** Is there a packing with peak at most [height]? *)
+val default_node_limit : int
+(** Node cap applied when the caller gives none (20,000,000). *)
 
-val solve : ?node_limit:int -> Instance.t -> Packing.t option
+val decide :
+  ?node_limit:int -> ?budget:Dsp_util.Budget.t -> Instance.t -> height:int -> outcome
+(** Is there a packing with peak at most [height]?  The optional
+    [budget] adds cooperative cancellation (a checkpoint per node):
+    {!Dsp_util.Budget.Expired} escapes to the caller. *)
+
+val solve :
+  ?node_limit:int -> ?budget:Dsp_util.Budget.t -> Instance.t -> Packing.t option
 (** Optimal packing via binary search on the peak between
     {!Instance.lower_bound} and a greedy upper bound; [None] only on
-    node-budget exhaustion. *)
+    node-budget exhaustion.  @raise Dsp_util.Budget.Expired when the
+    optional [budget] runs out mid-search. *)
 
-val optimal_height : ?node_limit:int -> Instance.t -> int option
+val optimal_height :
+  ?node_limit:int -> ?budget:Dsp_util.Budget.t -> Instance.t -> int option
 
 (** Node counts: every explored node bumps the global ["bb.nodes"]
     counter ({!Dsp_util.Instr}); callers that want the count of one

@@ -3,11 +3,12 @@ open Dsp_core
 let dual (inst : Pts.Inst.t) ~makespan =
   Dsp_transform.Transform.pts_to_dsp_instance inst ~width:makespan
 
-let decide ?node_limit (inst : Pts.Inst.t) ~makespan =
+let decide ?node_limit ?budget (inst : Pts.Inst.t) ~makespan =
+  Dsp_util.Budget.poll_opt budget;
   if makespan < Pts.Inst.max_time inst then None
   else
     let dsp = dual inst ~makespan in
-    match Dsp_bb.decide ?node_limit dsp ~height:inst.Pts.Inst.machines with
+    match Dsp_bb.decide ?node_limit ?budget dsp ~height:inst.Pts.Inst.machines with
     | Dsp_bb.Feasible pk -> (
         match
           Dsp_transform.Transform.packing_to_schedule pk
@@ -22,7 +23,7 @@ let decide ?node_limit (inst : Pts.Inst.t) ~makespan =
         | Error _ -> None)
     | Dsp_bb.Infeasible | Dsp_bb.Node_budget_exhausted -> None
 
-let solve ?node_limit (inst : Pts.Inst.t) =
+let solve ?node_limit ?budget (inst : Pts.Inst.t) =
   if Pts.Inst.n_jobs inst = 0 then
     Some (Pts.Schedule.make inst ~sigma:[||] ~rho:[||])
   else begin
@@ -32,7 +33,7 @@ let solve ?node_limit (inst : Pts.Inst.t) =
     in
     let best = ref None in
     let ok t =
-      match decide ?node_limit inst ~makespan:t with
+      match decide ?node_limit ?budget inst ~makespan:t with
       | Some sched ->
           best := Some sched;
           true
@@ -43,5 +44,5 @@ let solve ?node_limit (inst : Pts.Inst.t) =
     | None -> None
   end
 
-let optimal_makespan ?node_limit inst =
-  Option.map Pts.Schedule.makespan (solve ?node_limit inst)
+let optimal_makespan ?node_limit ?budget inst =
+  Option.map Pts.Schedule.makespan (solve ?node_limit ?budget inst)

@@ -10,12 +10,20 @@
 open Dsp_core
 
 val decide :
-  ?node_limit:int -> Pts.Inst.t -> makespan:int -> Pts.Schedule.t option
+  ?node_limit:int ->
+  ?budget:Dsp_util.Budget.t ->
+  Pts.Inst.t ->
+  makespan:int ->
+  Pts.Schedule.t option
 (** A schedule with makespan at most [makespan], if one exists within
     the node budget.  [None] conflates infeasibility with budget
-    exhaustion; use {!solve} when the distinction matters. *)
+    exhaustion; use {!solve} when the distinction matters.  The
+    optional [budget] is threaded into the dual DSP search;
+    {!Dsp_util.Budget.Expired} escapes to the caller. *)
 
-val solve : ?node_limit:int -> Pts.Inst.t -> Pts.Schedule.t option
+val solve :
+  ?node_limit:int -> ?budget:Dsp_util.Budget.t -> Pts.Inst.t -> Pts.Schedule.t option
 (** Optimal schedule, or [None] on node-budget exhaustion. *)
 
-val optimal_makespan : ?node_limit:int -> Pts.Inst.t -> int option
+val optimal_makespan :
+  ?node_limit:int -> ?budget:Dsp_util.Budget.t -> Pts.Inst.t -> int option

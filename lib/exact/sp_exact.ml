@@ -19,7 +19,7 @@ let x_overlap (a : Item.t) sa (b : Item.t) sb =
    arrangement items can be pushed down until each rests on the floor
    or on another item, and placing in ascending order of resulting y
    visits exactly such configurations. *)
-let y_search ~nodes ~node_limit (inst : Instance.t) ~starts ~height =
+let y_search ~nodes ~node_limit ~budget (inst : Instance.t) ~starts ~height =
   let n = Instance.n_items inst in
   let ys = Array.make n (-1) in
   let placed = Array.make n false in
@@ -45,6 +45,7 @@ let y_search ~nodes ~node_limit (inst : Instance.t) ~starts ~height =
     incr nodes;
     Dsp_util.Instr.bump c_nodes;
     if !nodes > node_limit then raise Out_of_nodes;
+    Dsp_util.Budget.check_opt budget;
     if k = n then true
     else begin
       (* Candidate items: one representative per unplaced dimension
@@ -87,12 +88,12 @@ let y_search ~nodes ~node_limit (inst : Instance.t) ~starts ~height =
   in
   if go 0 then Some ys else None
 
-let y_feasible ?(node_limit = 5_000_000) inst ~starts ~height =
+let y_feasible ?(node_limit = 5_000_000) ?budget inst ~starts ~height =
   let nodes = ref 0 in
-  try y_search ~nodes ~node_limit inst ~starts ~height
+  try y_search ~nodes ~node_limit ~budget inst ~starts ~height
   with Out_of_nodes -> None
 
-let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
+let decide_internal ~nodes ~node_limit ~budget (inst : Instance.t) ~height =
   let width = inst.Instance.width in
   let n = Instance.n_items inst in
   if Instance.total_area inst > height * width then Infeasible
@@ -114,8 +115,9 @@ let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
       incr nodes;
       Dsp_util.Instr.bump c_nodes;
       if !nodes > node_limit then raise Out_of_nodes;
+      Dsp_util.Budget.check_opt budget;
       if k = n then begin
-        match y_search ~nodes ~node_limit inst ~starts ~height with
+        match y_search ~nodes ~node_limit ~budget inst ~starts ~height with
         | Some ys ->
             result :=
               Some
@@ -161,11 +163,11 @@ let decide_internal ~nodes ~node_limit (inst : Instance.t) ~height =
 
 let default_node_limit = 20_000_000
 
-let decide ?(node_limit = default_node_limit) inst ~height =
+let decide ?(node_limit = default_node_limit) ?budget inst ~height =
   let nodes = ref 0 in
-  decide_internal ~nodes ~node_limit inst ~height
+  decide_internal ~nodes ~node_limit ~budget inst ~height
 
-let solve ?(node_limit = default_node_limit) inst =
+let solve ?(node_limit = default_node_limit) ?budget inst =
   if Instance.n_items inst = 0 then Some (Rect_packing.make inst [||])
   else begin
     let lo = Instance.lower_bound inst in
@@ -176,7 +178,7 @@ let solve ?(node_limit = default_node_limit) inst =
       if lo > hi then true
       else
         let mid = lo + ((hi - lo) / 2) in
-        match decide_internal ~nodes ~node_limit inst ~height:mid with
+        match decide_internal ~nodes ~node_limit ~budget inst ~height:mid with
         | Feasible pk ->
             best := Some pk;
             search lo (mid - 1)
@@ -186,5 +188,5 @@ let solve ?(node_limit = default_node_limit) inst =
     if search lo hi then !best else None
   end
 
-let optimal_height ?node_limit inst =
-  Option.map Rect_packing.height (solve ?node_limit inst)
+let optimal_height ?node_limit ?budget inst =
+  Option.map Rect_packing.height (solve ?node_limit ?budget inst)

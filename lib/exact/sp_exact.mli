@@ -14,12 +14,25 @@ open Dsp_core
 
 type outcome = Feasible of Rect_packing.t | Infeasible | Node_budget_exhausted
 
-val decide : ?node_limit:int -> Instance.t -> height:int -> outcome
-val solve : ?node_limit:int -> Instance.t -> Rect_packing.t option
-val optimal_height : ?node_limit:int -> Instance.t -> int option
+val decide :
+  ?node_limit:int -> ?budget:Dsp_util.Budget.t -> Instance.t -> height:int -> outcome
+
+val solve :
+  ?node_limit:int -> ?budget:Dsp_util.Budget.t -> Instance.t -> Rect_packing.t option
+(** @raise Dsp_util.Budget.Expired when the optional [budget] runs out
+    mid-search (cooperative cancellation checkpoints fire once per
+    node, in both search phases). *)
+
+val optimal_height :
+  ?node_limit:int -> ?budget:Dsp_util.Budget.t -> Instance.t -> int option
 
 val y_feasible :
-  ?node_limit:int -> Instance.t -> starts:int array -> height:int -> int array option
+  ?node_limit:int ->
+  ?budget:Dsp_util.Budget.t ->
+  Instance.t ->
+  starts:int array ->
+  height:int ->
+  int array option
 (** Vertical-arrangement check for fixed start columns: [Some ys] with
     the bottom y of every item, or [None] (also on budget
     exhaustion). *)

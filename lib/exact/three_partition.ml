@@ -11,7 +11,7 @@ let check ~numbers ~bound =
          (k * bound));
   k
 
-let search ~numbers ~bound =
+let search ?budget ~numbers ~bound () =
   let n = Array.length numbers in
   let _k = check ~numbers ~bound in
   let used = Array.make n false in
@@ -23,6 +23,10 @@ let search ~numbers ~bound =
   let rec go () =
     incr nodes;
     Dsp_util.Instr.bump c_nodes;
+    (* This search has no native node limit (the hardness experiments
+       want the full blow-up), so the budget checkpoint is the only way
+       to cancel it. *)
+    Dsp_util.Budget.check_opt budget;
     let a = first_unused 0 in
     if a >= n then true
     else begin
@@ -68,14 +72,14 @@ let search ~numbers ~bound =
   let found = go () in
   (found, (if found then Some (Array.of_list (List.rev !triples)) else None), !nodes)
 
-let solve ~numbers ~bound =
-  let _, triples, _ = search ~numbers ~bound in
+let solve ?budget ~numbers ~bound () =
+  let _, triples, _ = search ?budget ~numbers ~bound () in
   triples
 
-let solvable ~numbers ~bound =
-  let found, _, _ = search ~numbers ~bound in
+let solvable ?budget ~numbers ~bound () =
+  let found, _, _ = search ?budget ~numbers ~bound () in
   found
 
-let count_nodes ~numbers ~bound =
-  let found, _, nodes = search ~numbers ~bound in
+let count_nodes ?budget ~numbers ~bound () =
+  let found, _, nodes = search ?budget ~numbers ~bound () in
   (found, nodes)

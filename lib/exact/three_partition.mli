@@ -7,14 +7,23 @@
     NP-complete — that blow-up is itself measured by experiment E4)
     but fast for the experiment sizes (k ≤ 8). *)
 
-val solve : numbers:int array -> bound:int -> (int * int * int) array option
+val solve :
+  ?budget:Dsp_util.Budget.t ->
+  numbers:int array ->
+  bound:int ->
+  unit ->
+  (int * int * int) array option
 (** Triples of indices into [numbers], or [None] if no partition
-    exists.
+    exists.  The search has no native node limit, so the optional
+    [budget] is the only way to cancel it: {!Dsp_util.Budget.Expired}
+    escapes to the caller.
     @raise Invalid_argument if the array length is not a multiple of 3
     or the sum is not [k * bound]. *)
 
-val solvable : numbers:int array -> bound:int -> bool
+val solvable :
+  ?budget:Dsp_util.Budget.t -> numbers:int array -> bound:int -> unit -> bool
 
-val count_nodes : numbers:int array -> bound:int -> bool * int
+val count_nodes :
+  ?budget:Dsp_util.Budget.t -> numbers:int array -> bound:int -> unit -> bool * int
 (** Decision result together with the number of search nodes visited,
     for the hardness-cost experiment. *)

@@ -42,7 +42,11 @@ let pivot t ~row ~col =
    cost (we maximize, objective row stores c - z so positive means
    improving); leaving = smallest ratio, ties by smallest basis
    index. *)
-let rec iterate ?max_col t =
+let rec iterate ?max_col ?budget t =
+  (* Pivots are not search nodes, so a deadline-only poll: Bland's
+     rule guarantees termination, but a degenerate configuration LP
+     can still outlive a runner stage's deadline slice. *)
+  Dsp_util.Budget.poll_opt budget;
   let limit = match max_col with Some l -> l | None -> t.n in
   let enter = ref (-1) in
   (try
@@ -74,7 +78,7 @@ let rec iterate ?max_col t =
     if !row < 0 then `Unbounded
     else begin
       pivot t ~row:!row ~col;
-      iterate ?max_col t
+      iterate ?max_col ?budget t
     end
   end
 
@@ -86,7 +90,7 @@ let extract_solution t n_orig =
   x
 
 (* Phase 1: artificial variable per row; drive their sum to zero. *)
-let phase1 ~a ~b =
+let phase1 ?budget ~a ~b () =
   let m = Array.length a in
   let n = if m = 0 then 0 else Array.length a.(0) in
   let total = n + m in
@@ -112,7 +116,7 @@ let phase1 ~a ~b =
     tab.(m).(n + r) <- Rat.zero
   done;
   let t = { m; n = total; tab; basis = Array.init m (fun r -> n + r) } in
-  match iterate t with
+  match iterate ?budget t with
   | `Unbounded -> None (* cannot happen: phase-1 objective bounded *)
   | `Optimal ->
       if Rat.sign t.tab.(m).(total) <> 0 then None
@@ -132,7 +136,7 @@ let phase1 ~a ~b =
         Some t
       end
 
-let solve ~a ~b ~c =
+let solve ?budget ~a ~b ~c () =
   let m = Array.length a in
   if Array.length b <> m then invalid_arg "Simplex.solve: b length mismatch";
   let n = if m = 0 then Array.length c else Array.length a.(0) in
@@ -140,7 +144,7 @@ let solve ~a ~b ~c =
     (fun row -> if Array.length row <> n then invalid_arg "Simplex.solve: ragged a")
     a;
   if Array.length c <> n then invalid_arg "Simplex.solve: c length mismatch";
-  match phase1 ~a ~b with
+  match phase1 ?budget ~a ~b () with
   | None -> Infeasible
   | Some t ->
       (* Phase 2.  Artificial columns keep cost zero but are barred from
@@ -163,7 +167,7 @@ let solve ~a ~b ~c =
         s := Rat.add !s (Rat.mul costs.(t.basis.(r)) t.tab.(r).(t.n))
       done;
       t.tab.(t.m).(t.n) <- Rat.neg !s;
-      (match iterate ~max_col:n t with
+      (match iterate ~max_col:n ?budget t with
       | `Unbounded -> Unbounded
       | `Optimal ->
           let x = extract_solution t n in
@@ -171,10 +175,10 @@ let solve ~a ~b ~c =
           Array.iteri (fun j v -> objective := Rat.add !objective (Rat.mul c.(j) v)) x;
           Optimal { objective = !objective; solution = x })
 
-let feasible_point ~a ~b =
+let feasible_point ?budget ~a ~b () =
   let m = Array.length a in
   let n = if m = 0 then 0 else Array.length a.(0) in
-  match phase1 ~a ~b with
+  match phase1 ?budget ~a ~b () with
   | None -> None
   | Some t -> Some (extract_solution t n)
 

@@ -17,12 +17,25 @@ type result =
   | Unbounded
   | Infeasible
 
-val solve : a:Rat.t array array -> b:Rat.t array -> c:Rat.t array -> result
+val solve :
+  ?budget:Dsp_util.Budget.t ->
+  a:Rat.t array array ->
+  b:Rat.t array ->
+  c:Rat.t array ->
+  unit ->
+  result
 (** [a] is row-major [m x n]; [b] length [m]; [c] length [n].  Rows
-    with negative [b] are negated internally.
+    with negative [b] are negated internally.  The optional [budget]
+    is polled once per pivot (deadline only — pivots are not search
+    nodes); {!Dsp_util.Budget.Expired} escapes to the caller.
     @raise Invalid_argument on dimension mismatch. *)
 
-val feasible_point : a:Rat.t array array -> b:Rat.t array -> Rat.t array option
+val feasible_point :
+  ?budget:Dsp_util.Budget.t ->
+  a:Rat.t array array ->
+  b:Rat.t array ->
+  unit ->
+  Rat.t array option
 (** Phase 1 only: a basic feasible solution of [Ax = b, x >= 0], or
     [None].  The returned solution is basic: at most [m] non-zero
     entries, the property Lemmas 10–11 rely on. *)

@@ -1,0 +1,74 @@
+type reason = Deadline | Nodes
+
+exception Expired of reason
+
+type t = {
+  started : float;
+  deadline : float option; (* absolute gettimeofday *)
+  nodes : int option;
+  mutable ticks : int;
+  mutable fuse : int; (* checkpoints until the next wall-clock read *)
+}
+
+let clock_interval = 64
+
+let create ?timeout_ms ?nodes () =
+  let started = Unix.gettimeofday () in
+  (match timeout_ms with
+  | Some ms when ms < 0 -> invalid_arg "Budget.create: negative timeout"
+  | _ -> ());
+  (match nodes with
+  | Some n when n < 0 -> invalid_arg "Budget.create: negative node cap"
+  | _ -> ());
+  {
+    started;
+    deadline = Option.map (fun ms -> started +. (float_of_int ms /. 1000.)) timeout_ms;
+    nodes;
+    ticks = 0;
+    fuse = clock_interval;
+  }
+
+let unlimited () = create ()
+
+let past_deadline t =
+  match t.deadline with
+  | Some d -> Unix.gettimeofday () > d
+  | None -> false
+
+(* The fuse batches clock reads: gettimeofday is ~20ns but the hot
+   loops checkpoint every node, so pay for it only once per
+   [clock_interval] checkpoints. *)
+let burn_fuse t =
+  t.fuse <- t.fuse - 1;
+  if t.fuse <= 0 then begin
+    t.fuse <- clock_interval;
+    if past_deadline t then raise (Expired Deadline)
+  end
+
+let check t =
+  t.ticks <- t.ticks + 1;
+  (match t.nodes with
+  | Some cap when t.ticks > cap -> raise (Expired Nodes)
+  | _ -> ());
+  burn_fuse t
+
+let poll t = burn_fuse t
+let check_opt = function Some t -> check t | None -> ()
+let poll_opt = function Some t -> poll t | None -> ()
+
+let expired t =
+  match t.nodes with
+  | Some cap when t.ticks > cap -> Some Nodes
+  | _ -> if past_deadline t then Some Deadline else None
+
+let node_cap t = t.nodes
+let ticks t = t.ticks
+let elapsed t = Unix.gettimeofday () -. t.started
+
+let remaining_ms t =
+  Option.map
+    (fun d -> Float.max 0.0 ((d -. Unix.gettimeofday ()) *. 1000.))
+    t.deadline
+
+let reason_name = function Deadline -> "deadline" | Nodes -> "nodes"
+let pp_reason fmt r = Format.pp_print_string fmt (reason_name r)

@@ -1,0 +1,78 @@
+(** Unified solve budgets: a wall-clock deadline and a node cap in one
+    value, enforced by cooperative cancellation checkpoints.
+
+    The paper's exact solvers and the (5/4+ε) binary search are
+    pseudo-polynomial or exponential; on the 3-Partition hardness
+    families a solve can run effectively forever.  A [Budget.t] is
+    created once per solve (by {!Dsp_engine.Solver.run} or a
+    {!Dsp_engine.Runner} stage) and threaded into every hot loop, which
+    calls {!check} (search loops whose iterations are "nodes") or
+    {!poll} (loops with no node semantics, e.g. simplex pivots).  Both
+    raise {!Expired} when the budget runs out; the engine boundary
+    converts the exception into a typed outcome.
+
+    Cost model: a checkpoint is an increment and a compare; the wall
+    clock is only read every {!clock_interval} checkpoints, so
+    checkpoints are cheap enough for branch-and-bound inner loops. *)
+
+type reason = Deadline | Nodes
+
+exception Expired of reason
+(** Raised by {!check}/{!poll} at the first checkpoint past the
+    budget.  Escapes the solver wholesale (cooperative cancellation);
+    catch it only at the engine boundary. *)
+
+type t
+
+val create : ?timeout_ms:int -> ?nodes:int -> unit -> t
+(** A budget starting now.  [timeout_ms] is a wall-clock deadline
+    relative to creation; [nodes] caps the number of {!check}
+    checkpoints (search nodes).  Omitted components are unlimited. *)
+
+val unlimited : unit -> t
+(** A budget that never expires (checkpoints still count ticks). *)
+
+val check : t -> unit
+(** Node-counting checkpoint: one tick; raises [Expired Nodes] when
+    the tick count exceeds the node cap, and [Expired Deadline] when a
+    (batched) clock read lands past the deadline.  Call it once per
+    search node. *)
+
+val poll : t -> unit
+(** Deadline-only checkpoint for loops whose iterations are not search
+    nodes (simplex pivots, placement passes): never consumes the node
+    cap, still raises [Expired Deadline].  Clock reads are batched
+    exactly as in {!check}. *)
+
+val check_opt : t option -> unit
+(** {!check} when a budget is present, no-op otherwise — for solver
+    internals that take [?budget]. *)
+
+val poll_opt : t option -> unit
+(** {!poll} when a budget is present, no-op otherwise. *)
+
+val expired : t -> reason option
+(** Non-raising probe (always reads the clock). *)
+
+val node_cap : t -> int option
+(** The node cap, for solvers with native node accounting (the
+    branch-and-bound keeps its own per-call counter shared across the
+    binary search on the height). *)
+
+val ticks : t -> int
+(** Checkpoints counted so far by {!check}. *)
+
+val elapsed : t -> float
+(** Seconds since creation. *)
+
+val remaining_ms : t -> float option
+(** Milliseconds until the deadline ([None] when unlimited); clamped
+    at 0. *)
+
+val clock_interval : int
+(** Checkpoints between wall-clock reads (64). *)
+
+val reason_name : reason -> string
+(** ["deadline"] / ["nodes"]. *)
+
+val pp_reason : Format.formatter -> reason -> unit

@@ -1,0 +1,82 @@
+type action = Raise | Stall of float | Corrupt
+type plan = { site : string; action : action; after : int }
+
+exception Injected of string
+
+type state = { plan : plan; mutable hits : int; mutable fired : bool }
+
+let current : state option ref = ref None
+let pending_corruption = ref false
+
+let fire (p : plan) =
+  match p.action with
+  | Raise -> raise (Injected (Printf.sprintf "injected fault at %s (hit %d)" p.site p.after))
+  | Stall s -> Unix.sleepf s
+  | Corrupt -> pending_corruption := true
+
+let on_hit name =
+  match !current with
+  | None -> ()
+  | Some st ->
+      if (not st.fired) && String.equal name st.plan.site then begin
+        st.hits <- st.hits + 1;
+        if st.hits >= st.plan.after then begin
+          st.fired <- true;
+          fire st.plan
+        end
+      end
+
+let arm plan =
+  if plan.after < 1 then invalid_arg "Fault.arm: after must be >= 1";
+  current := Some { plan; hits = 0; fired = false };
+  pending_corruption := false;
+  Instr.set_on_hit (Some on_hit)
+
+let disarm () =
+  current := None;
+  pending_corruption := false;
+  Instr.set_on_hit None
+
+let armed () = Option.map (fun st -> st.plan) !current
+let fired () = match !current with Some st -> st.fired | None -> false
+let hits () = match !current with Some st -> st.hits | None -> 0
+
+let take_corruption () =
+  let c = !pending_corruption in
+  pending_corruption := false;
+  c
+
+let default_stall_ms = 200
+
+let parse_action s =
+  if s = "raise" then Ok Raise
+  else if s = "corrupt" then Ok Corrupt
+  else if s = "stall" then Ok (Stall (float_of_int default_stall_ms /. 1000.))
+  else if String.length s > 5 && String.sub s 0 5 = "stall" then
+    match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+    | Some ms when ms >= 0 -> Ok (Stall (float_of_int ms /. 1000.))
+    | _ -> Error (Printf.sprintf "bad stall duration in %S" s)
+  else Error (Printf.sprintf "unknown fault action %S (raise|stall[MS]|corrupt)" s)
+
+let parse_spec spec =
+  match String.split_on_char ':' spec with
+  | ([ site; action ] | [ site; action; _ ]) when site = "" || action = "" ->
+      Error (Printf.sprintf "bad fault spec %S (want SITE:ACTION[:AFTER])" spec)
+  | [ site; action ] -> (
+      match parse_action action with
+      | Ok action -> Ok { site; action; after = 1 }
+      | Error e -> Error e)
+  | [ site; action; after ] -> (
+      match (parse_action action, int_of_string_opt after) with
+      | Ok action, Some after when after >= 1 -> Ok { site; action; after }
+      | Ok _, _ -> Error (Printf.sprintf "bad fault trigger count %S" after)
+      | (Error e, _) -> Error e)
+  | _ -> Error (Printf.sprintf "bad fault spec %S (want SITE:ACTION[:AFTER])" spec)
+
+let action_to_string = function
+  | Raise -> "raise"
+  | Corrupt -> "corrupt"
+  | Stall s -> Printf.sprintf "stall%d" (int_of_float (Float.round (s *. 1000.)))
+
+let spec_to_string p =
+  Printf.sprintf "%s:%s:%d" p.site (action_to_string p.action) p.after

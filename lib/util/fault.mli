@@ -1,0 +1,64 @@
+(** Deterministic fault injection at counted {!Instr} sites.
+
+    Every instrumented hot-loop site (["bb.nodes"],
+    ["segtree.range_add"], ["simplex.pivots"], …) doubles as a fault
+    point: arming a {!plan} installs an {!Instr} per-hit hook that
+    counts hits on the chosen site and, on the [after]-th hit, fires
+    the planned action exactly once:
+
+    - {!Raise} aborts the solve with {!Injected} — models a solver bug
+      or a crashed worker;
+    - [Stall s] sleeps [s] seconds — models a hang, detected by the
+      cooperative {!Budget} deadline at the next checkpoint;
+    - {!Corrupt} flags the solve so the runner hands a structurally
+      corrupted packing to [Report] validation — models a solver
+      returning garbage.
+
+    Plans are one-shot and process-global (the test and bench
+    harnesses are sequential); always {!disarm} in a [Fun.protect]
+    finalizer.  The harness exists to prove the PR 2 "fail loudly"
+    boundary and the {!Dsp_engine.Runner} fallback chains actually
+    absorb faults instead of crashing. *)
+
+type action =
+  | Raise
+  | Stall of float  (** seconds *)
+  | Corrupt
+
+type plan = {
+  site : string;  (** an {!Instr} counter name *)
+  action : action;
+  after : int;  (** fire on the [after]-th hit of [site]; 1-based *)
+}
+
+exception Injected of string
+(** Raised out of the instrumented site by a fired {!Raise} plan. *)
+
+val arm : plan -> unit
+(** Install the plan (replacing any previous one) and clear pending
+    corruption.  @raise Invalid_argument if [after < 1]. *)
+
+val disarm : unit -> unit
+(** Remove the plan and clear pending corruption. *)
+
+val armed : unit -> plan option
+
+val fired : unit -> bool
+(** Whether the armed plan has triggered (plans are one-shot). *)
+
+val hits : unit -> int
+(** Hits recorded on the armed plan's site so far. *)
+
+val take_corruption : unit -> bool
+(** Consume the pending-corruption flag set by a fired {!Corrupt}
+    plan.  The runner calls this once per completed solve and, when
+    true, corrupts the returned packing before validation. *)
+
+val parse_spec : string -> (plan, string) result
+(** Parse a CLI fault spec [SITE:ACTION[:AFTER]] where [ACTION] is
+    [raise], [corrupt], or [stall[MS]] (default 200 ms) and [AFTER]
+    defaults to 1 — e.g. ["bb.nodes:raise:100"],
+    ["segtree.range_add:stall50"], ["budget_fit.best_fit_probes:corrupt"]. *)
+
+val spec_to_string : plan -> string
+(** Inverse of {!parse_spec} (canonical form). *)

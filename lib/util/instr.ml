@@ -13,11 +13,22 @@ let counter name =
       Hashtbl.add counters name c;
       c
 
-let bump c = c.count <- c.count + 1
+(* Per-hit hook: the fault-injection harness (Fault) registers itself
+   here, turning every counted site into a fault point.  Disarmed (the
+   overwhelmingly common case) the cost is one load and branch. *)
+let on_hit : (string -> unit) option ref = ref None
+let set_on_hit f = on_hit := f
+
+let hit c = match !on_hit with None -> () | Some f -> f c.cname
+
+let bump c =
+  c.count <- c.count + 1;
+  hit c
 
 let add c n =
   if n < 0 then invalid_arg "Instr.add: counters are monotone";
-  c.count <- c.count + n
+  c.count <- c.count + n;
+  hit c
 
 let value c = c.count
 let name c = c.cname

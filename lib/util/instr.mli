@@ -33,6 +33,14 @@ val add : counter -> int -> unit
 val value : counter -> int
 val name : counter -> string
 
+val set_on_hit : (string -> unit) option -> unit
+(** Install (or clear) the per-hit hook, called with the counter name
+    on every {!bump}/{!add}.  This is how {!Fault} turns every counted
+    site into a deterministic fault point; the hook may raise, and the
+    raise propagates out of the instrumented hot loop.  Disarmed, a
+    hit costs one load and branch.  Exactly one hook at a time —
+    installing replaces the previous one. *)
+
 type snapshot = (string * int) list
 (** Counter values at one instant, sorted by name. *)
 

@@ -1,27 +1,21 @@
 type t = { n : int; d : int }
 
-exception Overflow
+exception Overflow = Xutil.Overflow
+
 exception Division_by_zero
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
-
-let mul_check a b =
-  if a = 0 || b = 0 then 0
-  else
-    let p = a * b in
-    if p / b <> a then raise Overflow else p
-
-let add_check a b =
-  let s = a + b in
-  (* Overflow iff both operands share a sign that the sum lost. *)
-  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
-    raise Overflow
-  else s
+let mul_check = Xutil.checked_mul
+let add_check = Xutil.checked_add
 
 let make n d =
   if d = 0 then raise Division_by_zero
   else
     let s = if d < 0 then -1 else 1 in
+    (* [min_int] has no native negation: a sign flip would wrap, and
+       normalization's gcd walk turns its negative remainders into a
+       negative divisor.  Reject the boundary value outright. *)
+    if n = min_int || d = min_int then raise Overflow;
     let n = s * n and d = s * d in
     let g = gcd (abs n) d in
     if g = 0 then { n = 0; d = 1 } else { n = n / g; d = d / g }
@@ -40,7 +34,7 @@ let add a b =
   let n = add_check (mul_check a.n db) (mul_check b.n da) in
   make n (mul_check (mul_check da db) g)
 
-let neg a = { a with n = -a.n }
+let neg a = if a.n = min_int then raise Overflow else { a with n = -a.n }
 let sub a b = add a (neg b)
 
 let mul a b =
@@ -53,7 +47,8 @@ let mul a b =
 
 let inv a = if a.n = 0 then raise Division_by_zero else make a.d a.n
 let div a b = mul a (inv b)
-let abs a = { a with n = Stdlib.abs a.n }
+let abs a =
+  if a.n = min_int then raise Overflow else { a with n = Stdlib.abs a.n }
 
 let compare a b =
   (* Compare via subtraction sign; exact because [sub] is exact. *)

@@ -1,3 +1,18 @@
+exception Overflow
+
+let checked_add a b =
+  let s = a + b in
+  (* Overflow iff both operands share a sign that the sum lost. *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
 let sum_by f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
 let max_by f xs = List.fold_left (fun acc x -> max acc (f x)) 0 xs
 

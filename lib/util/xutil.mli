@@ -1,5 +1,17 @@
 (** Small general-purpose helpers shared across the libraries. *)
 
+exception Overflow
+(** Raised by the checked integer operations when a result would wrap
+    around the native integer range.  {!Rat.Overflow} is the same
+    exception, rebound. *)
+
+val checked_add : int -> int -> int
+(** Native-int addition that raises {!Overflow} instead of wrapping. *)
+
+val checked_mul : int -> int -> int
+(** Native-int multiplication that raises {!Overflow} instead of
+    wrapping. *)
+
 val sum_by : ('a -> int) -> 'a list -> int
 (** Integer sum of [f] over a list. *)
 

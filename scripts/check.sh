@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a smoke run of the packing-kernel benchmark:
+# Tier-1 verify plus smoke runs of the perf and robustness paths:
 # build, unit/property tests (including the kernel differential
-# suite), then a tiny kernel ablation to catch perf-path regressions
-# that type-check but break at runtime.
+# suite), a tiny kernel ablation to catch perf-path regressions that
+# type-check but break at runtime, and a fault-injection smoke that
+# proves injected crashes are caught at the engine boundary — typed
+# failures, never a segfault or a hang (everything runs under
+# timeout).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,3 +13,41 @@ dune build
 dune runtest
 BENCH_JSON=$(mktemp -t bench-smoke.XXXXXX.json) \
   dune exec bench/main.exe -- kernel-smoke
+
+# --- fault-injection smoke -------------------------------------------
+# The CI-sized fault matrix: one injected raise/stall/corrupt per
+# solver family, each absorbed by the runner.
+BENCH_JSON=$(mktemp -t bench-faults.XXXXXX.json) \
+  timeout 120 dune exec bench/main.exe -- faults-smoke
+
+# CLI boundary: an injected crash in each solver family must surface
+# as a typed failure with exit code 3 — not a crash of the CLI, not a
+# hang, not exit 0.
+inst=$(mktemp -t faults-smoke.XXXXXX.dsp)
+trap 'rm -f "$inst"' EXIT
+dune exec bin/dsp_cli.exe -- generate -n 10 --width 20 --seed 3 > "$inst"
+
+expect_injected_failure() {
+  local algo=$1 spec=$2
+  local status=0
+  timeout 60 dune exec bin/dsp_cli.exe -- \
+    solve --algo "$algo" --inject "$spec" --timeout-ms 2000 "$inst" \
+    >/dev/null 2>&1 || status=$?
+  if [ "$status" -ne 3 ]; then
+    echo "FAIL: $algo with injected $spec exited $status (want 3)" >&2
+    exit 1
+  fi
+  echo "ok: $algo absorbed injected $spec"
+}
+
+expect_injected_failure bfd-height  "segtree.best_start:raise"
+expect_injected_failure ff-doubling "budget_fit.first_fit_probes:raise"
+expect_injected_failure approx54    "approx54.attempts:raise"
+expect_injected_failure exact-bb    "bb.nodes:corrupt:5"
+expect_injected_failure pts-duality "segtree.range_add:raise"
+
+# And the fallback chain must absorb the same fault and still answer.
+timeout 60 dune exec bin/dsp_cli.exe -- \
+  solve --fallback exact-bb,approx54,bfd-height \
+  --inject "bb.nodes:raise" --timeout-ms 2000 "$inst" >/dev/null
+echo "ok: fallback chain stays total under injection"

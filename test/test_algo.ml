@@ -104,7 +104,7 @@ let algo_tests =
           (fun inst ->
             let pk =
               s.Dsp_engine.Solver.solve
-                ~node_budget:Dsp_engine.Solver.default_node_budget inst
+                ~budget:(Dsp_util.Budget.unlimited ()) inst
             in
             Result.is_ok (Packing.validate pk)
             && Instance.n_items (Packing.instance pk) = Instance.n_items inst);

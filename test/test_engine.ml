@@ -24,7 +24,7 @@ let registry_tests =
             family = Solver.Baseline;
             complexity = Solver.Poly;
             doc = "duplicate";
-            solve = (fun ~node_budget:_ inst -> Packing.make inst [||]);
+            solve = (fun ~budget:_ inst -> Packing.make inst [||]);
           }
         in
         match Registry.register dup with
@@ -131,7 +131,7 @@ let corruption_tests =
             complexity = Solver.Poly;
             doc = "returns a packing of a different instance";
             solve =
-              (fun ~node_budget:_ _inst ->
+              (fun ~budget:_ _inst ->
                 Dsp_algo.Baselines.best_fit_decreasing other);
           }
         in

@@ -87,7 +87,7 @@ let three_partition_tests =
     Alcotest.test_case "solves a hand-built yes instance" `Quick (fun () ->
         (* B = 12; triples (5,4,3) twice, disguised by shuffling. *)
         let numbers = [| 5; 4; 4; 3; 5; 3 |] in
-        match Dsp_exact.Three_partition.solve ~numbers ~bound:12 with
+        match Dsp_exact.Three_partition.solve ~numbers ~bound:12 () with
         | None -> Alcotest.fail "should be solvable"
         | Some triples ->
             Alcotest.check Alcotest.int "two triples" 2 (Array.length triples);
@@ -101,14 +101,14 @@ let three_partition_tests =
            10, never 12. *)
         let numbers = [| 6; 6; 6; 2; 2; 2 |] in
         Alcotest.check Alcotest.bool "unsolvable" false
-          (Dsp_exact.Three_partition.solvable ~numbers ~bound:12));
+          (Dsp_exact.Three_partition.solvable ~numbers ~bound:12 ()));
     Helpers.qtest ~count:30 "generated yes instances are solvable"
       (QCheck.make QCheck.Gen.(pair (int_range 2 4) (int_range 0 1000)))
       (fun (k, seed) ->
         let rng = Dsp_util.Rng.create seed in
         let tp = Dsp_instance.Hardness.yes_instance rng ~k ~bound:16 in
         Dsp_exact.Three_partition.solvable ~numbers:tp.Dsp_instance.Hardness.numbers
-          ~bound:16);
+          ~bound:16 ());
   ]
 
 let pts_exact_tests =

@@ -56,7 +56,7 @@ let hardness_tests =
         let rng = Dsp_util.Rng.create seed in
         let tp = Hardness.yes_instance rng ~k:3 ~bound:16 in
         match
-          Dsp_exact.Three_partition.solve ~numbers:tp.Hardness.numbers ~bound:16
+          Dsp_exact.Three_partition.solve ~numbers:tp.Hardness.numbers ~bound:16 ()
         with
         | None -> false
         | Some triples ->
@@ -111,11 +111,69 @@ let io_tests =
             Alcotest.check Alcotest.bool text true
               (Result.is_error (Io.instance_of_string text)))
           [ ""; "dsp"; "dsp x"; "dsp 5\n1"; "dsp 5\n1 2 3"; "pts 5\n1 2" ]);
+    Alcotest.test_case "parse errors carry kind and line number" `Quick
+      (fun () ->
+        let check text line kind =
+          match Io.instance_of_string text with
+          | Ok _ -> Alcotest.failf "accepted %S" text
+          | Error e ->
+              Alcotest.(check int)
+                (Printf.sprintf "line of %S" text)
+                line e.Io.line;
+              Alcotest.(check bool)
+                (Printf.sprintf "kind of %S (got %s)" text
+                   (Io.error_to_string e))
+                true (kind e.Io.kind)
+        in
+        check "" 0 (( = ) Io.Empty_input);
+        check "dsp" 1 (function Io.Bad_header _ -> true | _ -> false);
+        check "dsp x" 1 (function Io.Bad_number "x" -> true | _ -> false);
+        check "dsp 0\n1 1" 1 (( = ) (Io.Bad_cap 0));
+        check "dsp -5\n1 1" 1 (( = ) (Io.Bad_cap (-5)));
+        check "# c\ndsp 5\n1 1\n1" 4 (function
+          | Io.Truncated_line _ -> true
+          | _ -> false);
+        check "dsp 5\n1 1\n2 2 2" 3 (function
+          | Io.Truncated_line _ -> true
+          | _ -> false);
+        check "dsp 5\n1 two" 2 (( = ) (Io.Bad_number "two"));
+        check "dsp 5\n-1 2" 2 (( = ) (Io.Bad_dimension (-1, 2)));
+        check "dsp 5\n2 0" 2 (( = ) (Io.Bad_dimension (2, 0)));
+        check "dsp 5\n\n3 1\n9 2" 4 (( = ) (Io.Too_wide (9, 5)));
+        (match Io.pts_of_string "pts 3\n2 5" with
+        | Error { Io.line = 0; kind = Io.Invalid _ } -> ()
+        | Error e -> Alcotest.failf "wrong error: %s" (Io.error_to_string e)
+        | Ok _ -> Alcotest.fail "accepted job needing 5 of 3 machines"));
+    Helpers.qtest ~count:200 "fuzz: mutated instances never crash the parser"
+      QCheck.(triple (Helpers.instance_arb ()) small_nat (int_range 0 255))
+      (fun (inst, pos, byte) ->
+        let text = Io.instance_to_string inst in
+        let mutated =
+          if String.length text = 0 then text
+          else
+            String.mapi
+              (fun i c ->
+                if i = pos mod String.length text then Char.chr byte else c)
+              text
+        in
+        (* Any outcome is fine except an escaped exception: either a
+           typed error or a valid instance the mutation still spells. *)
+        match Io.instance_of_string mutated with
+        | Ok inst' ->
+            Array.for_all
+              (fun (it : Item.t) ->
+                it.w >= 1 && it.h >= 1 && it.w <= inst'.Instance.width)
+              inst'.Instance.items
+        | Error e ->
+            String.length (Io.error_to_string e) > 0
+        | exception e ->
+            QCheck.Test.fail_reportf "parser raised %s on %S"
+              (Printexc.to_string e) mutated);
     Alcotest.test_case "parser skips comments and blanks" `Quick (fun () ->
         let text = "# a comment\ndsp 6\n\n2 3\n# another\n1 1\n" in
         match Io.instance_of_string text with
         | Ok inst -> Alcotest.check Alcotest.int "items" 2 (Instance.n_items inst)
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Io.error_to_string e));
   ]
 
 let gap_family_tests =

@@ -11,7 +11,7 @@ let known_lp_tests =
         let a = [| [| r 1; r 2; r 1; r 0 |]; [| r 3; r 1; r 0; r 1 |] |] in
         let b = [| r 4; r 6 |] in
         let c = [| r 1; r 1; r 0; r 0 |] in
-        match Simplex.solve ~a ~b ~c with
+        match Simplex.solve ~a ~b ~c () with
         | Simplex.Optimal { objective; solution } ->
             Alcotest.check Alcotest.bool "objective 14/5" true
               (Rat.equal objective (Rat.make 14 5));
@@ -19,19 +19,19 @@ let known_lp_tests =
               (Rat.equal solution.(0) (Rat.make 8 5))
         | _ -> Alcotest.fail "expected an optimum");
     Alcotest.test_case "detects infeasibility" `Quick (fun () ->
-        match Simplex.solve ~a:[| [| r 1 |] |] ~b:[| r (-1) |] ~c:[| r 0 |] with
+        match Simplex.solve ~a:[| [| r 1 |] |] ~b:[| r (-1) |] ~c:[| r 0 |] () with
         | Simplex.Infeasible -> ()
         | _ -> Alcotest.fail "expected infeasible");
     Alcotest.test_case "detects unboundedness" `Quick (fun () ->
         match
-          Simplex.solve ~a:[| [| r 1; r (-1) |] |] ~b:[| r 0 |] ~c:[| r 1; r 0 |]
+          Simplex.solve ~a:[| [| r 1; r (-1) |] |] ~b:[| r 0 |] ~c:[| r 1; r 0 |] ()
         with
         | Simplex.Unbounded -> ()
         | _ -> Alcotest.fail "expected unbounded");
     Alcotest.test_case "degenerate system" `Quick (fun () ->
         (* Redundant equalities: x = 1 stated twice. *)
         let a = [| [| r 1 |]; [| r 1 |] |] in
-        match Simplex.feasible_point ~a ~b:[| r 1; r 1 |] with
+        match Simplex.feasible_point ~a ~b:[| r 1; r 1 |] () with
         | Some x -> Alcotest.check Alcotest.bool "x = 1" true (Rat.equal x.(0) Rat.one)
         | None -> Alcotest.fail "expected feasible");
   ]
@@ -70,7 +70,7 @@ let property_tests =
     Helpers.qtest ~count:200 "feasible systems admit a feasible point" system_arb
       (fun sys ->
         let a, b, _ = build_system sys in
-        match Simplex.feasible_point ~a ~b with
+        match Simplex.feasible_point ~a ~b () with
         | None -> false
         | Some x ->
             (* Check Ax = b and x >= 0 exactly. *)
@@ -84,7 +84,7 @@ let property_tests =
     Helpers.qtest ~count:200 "feasible points are basic (few non-zeros)"
       system_arb (fun sys ->
         let a, b, _ = build_system sys in
-        match Simplex.feasible_point ~a ~b with
+        match Simplex.feasible_point ~a ~b () with
         | None -> false
         | Some x -> Simplex.count_nonzero x <= Array.length a);
     Helpers.qtest ~count:100 "optimal value dominates the witness objective"
@@ -92,7 +92,7 @@ let property_tests =
         let a, b, x0 = build_system sys in
         let n = Array.length x0 in
         let c = Array.init n (fun j -> r (((j * 7) mod 5) - 2)) in
-        match Simplex.solve ~a ~b ~c with
+        match Simplex.solve ~a ~b ~c () with
         | Simplex.Optimal { objective; _ } ->
             let at_x0 = ref Rat.zero in
             Array.iteri (fun j v -> at_x0 := Rat.add !at_x0 (Rat.mul c.(j) v)) x0;

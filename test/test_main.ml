@@ -22,4 +22,6 @@ let () =
       ("restructure", Test_restructure.suite);
       ("budget-fit", Test_budget_fit.suite);
       ("engine", Test_engine.suite);
+      ("runner", Test_runner.suite);
+      ("bench", Test_bench.suite);
     ]

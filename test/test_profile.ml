@@ -106,6 +106,31 @@ let segtree_tests =
           (Segtree.min_peak_start t ~len:2 ~height:3 ~limit:5);
         Alcotest.check (Alcotest.option Alcotest.int) "impossible" None
           (Segtree.min_peak_start t ~len:6 ~height:1 ~limit:5));
+    Alcotest.test_case "accumulation near max_int raises, never wraps" `Quick
+      (fun () ->
+        (* Segtree-backed path: the O(1) root guard fires on the add
+           that would push the running max past max_int. *)
+        let p = Profile.create 4 in
+        Profile.add p ~start:0 ~len:4 ~height:max_int;
+        Alcotest.check Alcotest.int "peak at the boundary" max_int
+          (Profile.peak p);
+        Alcotest.check_raises "segtree overflow" Dsp_util.Rat.Overflow
+          (fun () -> Profile.add p ~start:1 ~len:2 ~height:1);
+        (* The guarded add must not have half-applied. *)
+        Alcotest.check Alcotest.int "load intact after refusal" max_int
+          (Profile.load p 1);
+        (* Naive reference path overflows identically. *)
+        let n = Profile.Naive.create 4 in
+        Profile.Naive.add n ~start:0 ~len:4 ~height:max_int;
+        Alcotest.check_raises "naive overflow" Dsp_util.Rat.Overflow
+          (fun () -> Profile.Naive.add n ~start:1 ~len:2 ~height:1);
+        (* A large negative add keeps working: only the max can
+           overflow upward. *)
+        Profile.add p ~start:0 ~len:4 ~height:(-max_int);
+        Alcotest.check Alcotest.int "peak back to 0" 0 (Profile.peak p);
+        Profile.add p ~start:0 ~len:4 ~height:max_int;
+        Alcotest.check Alcotest.int "boundary reachable again" max_int
+          (Profile.peak p));
   ]
 
 let suite = profile_tests @ segtree_tests

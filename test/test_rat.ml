@@ -40,6 +40,35 @@ let unit_tests =
         let big = Rat.make max_int 1 in
         Alcotest.check_raises "mul overflow" Rat.Overflow (fun () ->
             ignore (Rat.mul big big)));
+    Alcotest.test_case "int boundary: additions raise, never wrap" `Quick
+      (fun () ->
+        let top = Rat.of_int max_int in
+        Alcotest.check_raises "max_int + 1" Rat.Overflow (fun () ->
+            ignore (Rat.add top Rat.one));
+        Alcotest.check_raises "sub below min_int" Rat.Overflow (fun () ->
+            ignore (Rat.sub (Rat.of_int (-max_int)) (Rat.of_int 2)));
+        (* Exactly representable boundary results must still work. *)
+        Alcotest.check check_rat "max_int - 1 + 1"
+          top
+          (Rat.add (Rat.of_int (max_int - 1)) Rat.one);
+        Alcotest.check check_rat "cross-reduction avoids the blowup"
+          Rat.one
+          (Rat.mul (Rat.make max_int 1) (Rat.make 1 max_int)));
+    Alcotest.test_case "int boundary: min_int has no negation" `Quick
+      (fun () ->
+        let bottom = Rat.of_int min_int in
+        Alcotest.check_raises "neg min_int" Rat.Overflow (fun () ->
+            ignore (Rat.neg bottom));
+        Alcotest.check_raises "abs min_int" Rat.Overflow (fun () ->
+            ignore (Rat.abs bottom));
+        Alcotest.check_raises "make with min_int numerator" Rat.Overflow
+          (fun () -> ignore (Rat.make min_int 3));
+        Alcotest.check_raises "make with min_int denominator" Rat.Overflow
+          (fun () -> ignore (Rat.make 1 min_int));
+        (* compare goes through sub, so comparing against min_int can
+           itself overflow — documented behavior, not a wrap. *)
+        Alcotest.check_raises "compare overflows loudly" Rat.Overflow
+          (fun () -> ignore (Rat.compare (Rat.of_int max_int) bottom)));
   ]
 
 let property_tests =
