@@ -26,21 +26,27 @@ let schema_version = "dsp-bench/3"
 let known_schemas = [ "dsp-bench/2"; schema_version ]
 
 (* Insertion-ordered: experiment ids in run order, metrics in record
-   order within an experiment. *)
+   order within an experiment.  The store is shared mutable state and
+   experiments may record from pool workers, so every access to
+   [experiments] (and to the per-experiment row refs) happens under
+   [m]. *)
 let experiments : (string * (string * value) list ref) list ref = ref []
+let m = Mutex.create ()
+let locked f = Mutex.lock m; Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let clear () = experiments := []
+let clear () = locked (fun () -> experiments := [])
 
 let record ~experiment key value =
-  let row =
-    match List.assoc_opt experiment !experiments with
-    | Some r -> r
-    | None ->
-        let r = ref [] in
-        experiments := !experiments @ [ (experiment, r) ];
-        r
-  in
-  row := !row @ [ (key, value) ]
+  locked (fun () ->
+      let row =
+        match List.assoc_opt experiment !experiments with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            experiments := !experiments @ [ (experiment, r) ];
+            r
+      in
+      row := !row @ [ (key, value) ])
 
 let record_counters ~experiment ~solver counters =
   List.iter
@@ -70,6 +76,10 @@ let value_to_string = function
   | Bool b -> if b then "true" else "false"
 
 let render () =
+  (* Snapshot under the lock, serialize outside it. *)
+  let snapshot =
+    locked (fun () -> List.map (fun (id, metrics) -> (id, !metrics)) !experiments)
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "{\n  \"schema\": \"%s\",\n  \"experiments\": ["
@@ -82,9 +92,9 @@ let render () =
         (fun (k, v) ->
           Buffer.add_string buf
             (Printf.sprintf ",\n      \"%s\": %s" (escape k) (value_to_string v)))
-        !metrics;
+        metrics;
       Buffer.add_string buf "\n    }")
-    !experiments;
+    snapshot;
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 

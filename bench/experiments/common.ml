@@ -29,3 +29,20 @@ let height_by_name ?node_budget name inst =
 let scheduler_of name =
   let s = Registry.find_exn name in
   fun inst -> packing_of s inst
+
+(* Per-instance parallelism for the data-heavy experiments (E8's
+   exact-optimum filtering, E9's sweeps).  Off by default: without
+   DSP_JOBS the mapping is a plain [List.map], so the default bench
+   run is byte-identical to the serial harness.  With DSP_JOBS=k > 1
+   the work fans out over a short-lived pool; results come back in
+   input order, so callers print after the map and output stays
+   deterministic either way. *)
+let bench_jobs () =
+  match Option.bind (Sys.getenv_opt "DSP_JOBS") int_of_string_opt with
+  | Some j when j > 1 -> j
+  | _ -> 1
+
+let par_map f xs =
+  let jobs = min (bench_jobs ()) (List.length xs) in
+  if jobs <= 1 then List.map f xs
+  else Dsp_util.Pool.with_pool ~jobs (fun pool -> Dsp_util.Pool.map pool f xs)

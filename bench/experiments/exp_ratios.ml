@@ -1,6 +1,9 @@
 (* E8: approximation ratios against exact optima (Theorem 5).  Every
    registered heuristic solver is measured; the solver list is the
-   registry, not a private table. *)
+   registry, not a private table.  The dominant cost — the exact
+   branch-and-bound filtering of 25 seeds per family — runs through
+   Common.par_map (serial unless DSP_JOBS=k), and the printed table is
+   identical either way because results land in seed order. *)
 
 module Solver = Dsp_engine.Solver
 module Rng = Dsp_util.Rng
@@ -36,13 +39,16 @@ let e8 () =
   List.iter
     (fun (fam, gen) ->
       let instances =
-        List.filter_map
-          (fun seed ->
-            let inst = gen seed in
-            match Dsp_exact.Dsp_bb.optimal_height ~node_limit:2_000_000 inst with
-            | Some opt when opt > 0 -> Some (inst, opt)
-            | _ -> None)
-          (Dsp_util.Xutil.range 0 25)
+        List.filter_map Fun.id
+          (Common.par_map
+             (fun seed ->
+               let inst = gen seed in
+               match
+                 Dsp_exact.Dsp_bb.optimal_height ~node_limit:2_000_000 inst
+               with
+               | Some opt when opt > 0 -> Some (inst, opt)
+               | _ -> None)
+             (Dsp_util.Xutil.range 0 25))
       in
       List.iter
         (fun (s : Solver.t) ->
@@ -65,20 +71,25 @@ let e8 () =
   List.iter
     (fun (label, eps) ->
       let ratios =
-        List.filter_map
-          (fun seed ->
-            let rng = Rng.create seed in
-            let inst =
-              Dsp_instance.Generators.uniform rng ~n:7 ~width:10 ~max_w:6 ~max_h:8
-            in
-            match Dsp_exact.Dsp_bb.optimal_height ~node_limit:2_000_000 inst with
-            | Some opt when opt > 0 ->
-                Some
-                  (float_of_int
-                     (Dsp_core.Packing.height (Dsp_algo.Approx54.solve ~eps inst))
-                  /. float_of_int opt)
-            | _ -> None)
-          (Dsp_util.Xutil.range 0 20)
+        List.filter_map Fun.id
+          (Common.par_map
+             (fun seed ->
+               let rng = Rng.create seed in
+               let inst =
+                 Dsp_instance.Generators.uniform rng ~n:7 ~width:10 ~max_w:6
+                   ~max_h:8
+               in
+               match
+                 Dsp_exact.Dsp_bb.optimal_height ~node_limit:2_000_000 inst
+               with
+               | Some opt when opt > 0 ->
+                   Some
+                     (float_of_int
+                        (Dsp_core.Packing.height
+                           (Dsp_algo.Approx54.solve ~eps inst))
+                     /. float_of_int opt)
+               | _ -> None)
+             (Dsp_util.Xutil.range 0 20))
       in
       let avg =
         List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)

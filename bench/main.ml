@@ -13,17 +13,27 @@
      dune exec bench/main.exe -- counters     # per-solver Instr counters only
      dune exec bench/main.exe -- faults       # fault-injection robustness matrix
      dune exec bench/main.exe -- faults-smoke # CI-sized fault matrix
+     dune exec bench/main.exe -- parallel     # 1-domain vs N-domain speedups
+
+   DSP_JOBS=k runs the coarse experiments k at a time on a domain pool
+   (and fans out per-instance work inside E8/E9); timing-sensitive
+   experiments stay sequential regardless (see [serial_only]).
+   Concurrent experiments may interleave their stdout — BENCH.json is
+   the authoritative record either way, and its writes are
+   domain-safe.  Without DSP_JOBS everything runs exactly as the
+   serial harness always has.
 
    Every run also writes BENCH.json (override the path with the
    BENCH_JSON environment variable) under schema dsp-bench/3:
    per-experiment wall-clock and status, the metrics individual
    experiments record (kernel speedups and peaks, E4 node counts,
-   fault-matrix outcomes), and the per-solver instrumentation counters
-   of the "counters" experiment.  Crash safety: an experiment that
-   raises is recorded as a degraded entry (status "crashed" plus the
-   error) instead of aborting the run, and the file is checkpointed
-   atomically after every experiment, so a killed harness leaves the
-   last completed state on disk, never a truncated file. *)
+   fault-matrix outcomes, the "parallel" experiment's speedups), and
+   the per-solver instrumentation counters of the "counters"
+   experiment.  Crash safety: an experiment that raises is recorded as
+   a degraded entry (status "crashed" plus the error) instead of
+   aborting the run, and the file is checkpointed atomically after
+   every experiment, so a killed harness leaves the last completed
+   state on disk, never a truncated file. *)
 
 open Dsp_bench
 
@@ -33,7 +43,16 @@ let experiments =
   @ Exp_smartgrid.experiments @ Exp_steinberg.experiments
   @ Exp_ablation.experiments @ Exp_extensions.experiments
   @ Exp_structure.experiments @ Exp_kernel.experiments @ Exp_micro.experiments
-  @ Exp_counters.experiments @ Exp_faults.experiments
+  @ Exp_counters.experiments @ Exp_faults.experiments @ Exp_parallel.experiments
+
+(* Experiments that must not share the process with concurrent load:
+   micro/kernel timings and the parallel experiment's serial-vs-pool
+   comparison would be skewed, the counters experiment asserts exact
+   Instr deltas for a single solve at a time, and the fault matrix
+   arms process-global fault plans. *)
+let serial_only =
+  [ "kernel"; "kernel-smoke"; "micro"; "counters"; "faults"; "faults-smoke";
+    "parallel" ]
 
 let bench_path () =
   Option.value (Sys.getenv_opt "BENCH_JSON") ~default:"BENCH.json"
@@ -42,6 +61,8 @@ let run_experiment (name, f) =
   let checkpoint () = Bench_json.write (bench_path ()) in
   match Dsp_util.Xutil.timeit f with
   | (), seconds ->
+      (* Under DSP_JOBS this wall-clock overlaps with concurrent
+         experiments; read it relative to the serial baseline only. *)
       Bench_json.record ~experiment:name "seconds" (Bench_json.Float seconds);
       Bench_json.record ~experiment:name "status" (Bench_json.String "ok");
       checkpoint ()
@@ -56,30 +77,55 @@ let run_experiment (name, f) =
       Bench_json.record ~experiment:name "error" (Bench_json.String msg);
       checkpoint ()
 
+(* Coarse-grained scheduling: pooled experiments first (k at a time
+   under DSP_JOBS=k), then the serial-only tail one by one.  With no
+   DSP_JOBS both lists run sequentially in registration order. *)
+let run_selected selected =
+  let jobs =
+    match Option.bind (Sys.getenv_opt "DSP_JOBS") int_of_string_opt with
+    | Some j when j > 1 -> j
+    | _ -> 1
+  in
+  let pooled, serial =
+    List.partition (fun (name, _) -> not (List.mem name serial_only)) selected
+  in
+  (if jobs > 1 && List.length pooled > 1 then begin
+     Printf.printf
+       "[DSP_JOBS=%d: %d experiments on the pool; stdout may interleave, \
+        BENCH.json is authoritative]\n"
+       jobs (List.length pooled);
+     Dsp_util.Pool.with_pool
+       ~jobs:(min jobs (List.length pooled))
+       (fun pool -> ignore (Dsp_util.Pool.map pool run_experiment pooled))
+   end
+   else List.iter run_experiment pooled);
+  List.iter run_experiment serial
+
 let () =
   let ran =
     match Array.to_list Sys.argv |> List.tl with
     | [] ->
         (* kernel-smoke and faults-smoke are the CI-sized variants of
            kernel and faults; skip them in a full run. *)
-        List.iter
-          (fun (name, f) ->
-            if name <> "kernel-smoke" && name <> "faults-smoke" then
-              run_experiment (name, f))
-          experiments;
+        run_selected
+          (List.filter
+             (fun (name, _) -> name <> "kernel-smoke" && name <> "faults-smoke")
+             experiments);
         print_newline ();
         true
     | names ->
-        List.fold_left
-          (fun ran name ->
-            match List.assoc_opt name experiments with
-            | Some f ->
-                run_experiment (name, f);
-                ran || true
-            | None ->
-                Printf.eprintf "unknown experiment %s\n" name;
-                ran)
-          false names
+        let selected =
+          List.filter_map
+            (fun name ->
+              match List.assoc_opt name experiments with
+              | Some f -> Some (name, f)
+              | None ->
+                  Printf.eprintf "unknown experiment %s\n" name;
+                  None)
+            names
+        in
+        run_selected selected;
+        selected <> []
   in
   if ran then begin
     let path = bench_path () in

@@ -63,6 +63,35 @@ let timeout_arg =
           "Wall-clock deadline per solve, in milliseconds (cooperative \
            cancellation: solvers notice at their next checkpoint).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Worker domains for parallel paths (exact-bb-par, --race); 0 = \
+           auto (DSP_JOBS, else the hardware's recommended domain count).")
+
+(* --jobs also steers every implicit pool (the registry's exact-bb-par
+   spawns its own), so apply it globally before solving. *)
+let apply_jobs jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "error: --jobs must be >= 0\n";
+    exit 2
+  end
+  else if jobs > 0 then Dsp_util.Pool.set_default_jobs jobs
+
+let race_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "race" ]
+        ~doc:
+          "Run the fallback chain (or the solver set, for $(b,compare)) \
+           concurrently on a domain pool under one shared wall-clock \
+           deadline; the first validated report wins and the losers are \
+           cancelled cooperatively.")
+
 let inject_arg =
   Arg.(
     value
@@ -156,37 +185,64 @@ let solve_cmd =
     if stats then print_counters r;
     if show then print_endline (Profile.render (Packing.profile r.Report.packing))
   in
-  let run solver path show stats budget_nodes timeout_ms fallback inject =
+  let print_resolution ~label show stats (res : Runner.resolution) =
+    List.iter
+      (fun f ->
+        Printf.printf "%s: %s\n" label
+          (Format.asprintf "%a" Runner.pp_failure f))
+      res.Runner.failures;
+    if res.Runner.safety_net then
+      Printf.printf "%s: chain exhausted, degraded to safety net\n" label;
+    print_report show stats res.Runner.report
+  in
+  let run solver path show stats budget_nodes timeout_ms fallback jobs race
+      inject =
     let inst = read_instance path in
+    apply_jobs jobs;
+    let explicit_chain () =
+      Option.map
+        (fun spec ->
+          match Runner.parse_chain spec with
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              exit 2
+          | Ok chain -> chain)
+        fallback
+    in
     with_injection inject (fun () ->
-        match fallback with
-        | Some chain_spec -> (
-            match Runner.parse_chain chain_spec with
-            | Error msg ->
-                Printf.eprintf "error: %s\n" msg;
-                exit 2
-            | Ok chain ->
-                let res =
-                  Runner.solve ?timeout_ms ~node_budget:budget_nodes ~chain inst
-                in
-                List.iter
-                  (fun f ->
-                    Printf.printf "fallback: %s\n"
-                      (Format.asprintf "%a" Runner.pp_failure f))
-                  res.Runner.failures;
-                if res.Runner.safety_net then
-                  Printf.printf
-                    "fallback: chain exhausted, degraded to safety net\n";
-                print_report show stats res.Runner.report)
-        | None -> (
-            match
-              Runner.run_one ?timeout_ms ~node_budget:budget_nodes solver inst
-            with
-            | Error f ->
-                Printf.eprintf "error: %s\n"
-                  (Format.asprintf "%a" Runner.pp_failure f);
-                exit 3
-            | Ok r -> print_report show stats r))
+        if race then begin
+          let chain =
+            match explicit_chain () with
+            | Some c -> c
+            | None -> Runner.default_chain ()
+          in
+          (* One worker per racing stage unless --jobs caps it. *)
+          let pool_jobs = if jobs > 0 then jobs else List.length chain in
+          let res =
+            Dsp_util.Pool.with_pool ~jobs:pool_jobs (fun pool ->
+                Runner.race ?timeout_ms ~node_budget:budget_nodes ~chain ~pool
+                  inst)
+          in
+          Printf.printf "race: winner %s of %s\n" res.Runner.winner
+            (Runner.chain_to_string chain);
+          print_resolution ~label:"race" show stats res
+        end
+        else
+          match explicit_chain () with
+          | Some chain ->
+              let res =
+                Runner.solve ?timeout_ms ~node_budget:budget_nodes ~chain inst
+              in
+              print_resolution ~label:"fallback" show stats res
+          | None -> (
+              match
+                Runner.run_one ?timeout_ms ~node_budget:budget_nodes solver inst
+              with
+              | Error f ->
+                  Printf.eprintf "error: %s\n"
+                    (Format.asprintf "%a" Runner.pp_failure f);
+                  exit 3
+              | Ok r -> print_report show stats r))
   in
   let solver =
     Arg.(
@@ -214,29 +270,75 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve a DSP instance with one algorithm")
     Term.(
       const run $ solver $ path $ show $ stats $ budget_nodes_arg $ timeout_arg
-      $ fallback $ inject_arg)
+      $ fallback $ jobs_arg $ race_arg $ inject_arg)
 
 (* compare *)
 
 let compare_cmd =
-  let run path stats budget_nodes timeout_ms inject =
+  let run path stats budget_nodes timeout_ms jobs race inject =
     let inst = read_instance path in
+    apply_jobs jobs;
     let solvers =
       List.filter
         (fun (s : Solver.t) ->
           budget_nodes > 0 || s.Solver.complexity <> Solver.Exponential)
         (Registry.all ())
     in
+    if race then begin
+      (* Race the whole eligible set: one shared deadline, first
+         validated report wins. *)
+      let chain =
+        (* exact-bb-par spawns its own pool; racing it inside another
+           pool's worker would nest domains pointlessly on small
+           machines, so the race sticks to the serial solvers. *)
+        List.filter
+          (fun (s : Solver.t) -> s.Solver.name <> "exact-bb-par")
+          solvers
+      in
+      let pool_jobs = if jobs > 0 then jobs else List.length chain in
+      let res =
+        with_injection inject (fun () ->
+            Dsp_util.Pool.with_pool ~jobs:pool_jobs (fun pool ->
+                Runner.race ?timeout_ms ~node_budget:(max 1 budget_nodes) ~chain
+                  ~pool inst))
+      in
+      Printf.printf "race: winner %s of %s\n" res.Runner.winner
+        (Runner.chain_to_string chain);
+      List.iter
+        (fun f ->
+          Printf.printf "race: %s\n" (Format.asprintf "%a" Runner.pp_failure f))
+        res.Runner.failures;
+      let r = res.Runner.report in
+      Printf.printf "peak: %d\nratio vs LB: %.3f\ntime: %.4fs\n" r.Report.peak
+        r.Report.ratio r.Report.seconds;
+      if stats then print_counters r
+    end
+    else begin
+    let outcomes =
+      if jobs > 1 then
+        (* Budget each solver concurrently; rows still print in
+           registry order once everything lands. *)
+        Dsp_util.Pool.with_pool ~jobs (fun pool ->
+            Dsp_util.Pool.map pool
+              (fun (s : Solver.t) ->
+                with_injection inject (fun () ->
+                    Runner.run_one ?timeout_ms ~node_budget:(max 1 budget_nodes)
+                      s inst))
+              solvers)
+      else
+        List.map
+          (fun s ->
+            with_injection inject (fun () ->
+                Runner.run_one ?timeout_ms ~node_budget:(max 1 budget_nodes) s
+                  inst))
+          solvers
+    in
     Printf.printf "%-14s %-10s %6s %8s %10s\n" "algorithm" "family" "peak"
       "vs LB" "seconds";
     let reports =
       List.filter_map
-        (fun (s : Solver.t) ->
-          match
-            with_injection inject (fun () ->
-                Runner.run_one ?timeout_ms ~node_budget:(max 1 budget_nodes) s
-                  inst)
-          with
+        (fun ((s : Solver.t), outcome) ->
+          match outcome with
           | Ok r ->
               Printf.printf "%-14s %-10s %6d %8.3f %10.4f\n" s.Solver.name
                 (Solver.family_name s.Solver.family)
@@ -250,7 +352,7 @@ let compare_cmd =
                 (Runner.kind_name f.Runner.kind)
                 (f.Runner.seconds *. 1000.);
               None)
-        solvers
+        (List.combine solvers outcomes)
     in
     (* When the exact solver finished, re-express every ratio against
        the true optimum. *)
@@ -273,6 +375,7 @@ let compare_cmd =
           print_newline ();
           print_counters r)
         reports
+    end
   in
   let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE") in
   let stats =
@@ -282,8 +385,12 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:
          "Run every registered solver on an instance (exact solvers under the \
-          --budget-nodes cap; per-solver --timeout-ms deadline)")
-    Term.(const run $ path $ stats $ budget_nodes_arg $ timeout_arg $ inject_arg)
+          --budget-nodes cap; per-solver --timeout-ms deadline; --jobs runs \
+          the solvers concurrently, --race returns only the first validated \
+          report)")
+    Term.(
+      const run $ path $ stats $ budget_nodes_arg $ timeout_arg $ jobs_arg
+      $ race_arg $ inject_arg)
 
 (* exact *)
 

@@ -97,6 +97,24 @@ let exact_bb ~budget inst =
         (Solver.Budget_exhausted
            (Printf.sprintf "exact-bb: node budget %d exhausted" node_limit))
 
+let exact_bb_par ~budget inst =
+  (* Same budget contract as exact-bb, fanned out across
+     Pool.default_jobs domains; the node cap is shared across the
+     workers, so k domains never multiply the budget by k. *)
+  let node_limit =
+    Option.value
+      (Dsp_util.Budget.node_cap budget)
+      ~default:Dsp_exact.Dsp_bb.default_node_limit
+  in
+  let jobs = Dsp_util.Pool.default_jobs () in
+  match Dsp_exact.Dsp_bb.solve_par ~node_limit ~budget ~jobs inst with
+  | Some pk -> pk
+  | None ->
+      raise
+        (Solver.Budget_exhausted
+           (Printf.sprintf "exact-bb-par: node budget %d exhausted (%d domains)"
+              node_limit jobs))
+
 let () =
   List.iter register
     [
@@ -170,5 +188,12 @@ let () =
         complexity = Exponential;
         doc = "exact branch and bound (true OPT; node-budgeted)";
         solve = exact_bb;
+      };
+      {
+        Solver.name = "exact-bb-par";
+        family = Exact;
+        complexity = Exponential;
+        doc = "parallel exact B&B (root-split, shared incumbent; --jobs domains)";
+        solve = exact_bb_par;
       };
     ]

@@ -1,20 +1,23 @@
-(** Fault-tolerant solver execution: typed outcomes and declarative
-    fallback chains over the {!Registry}.
+(** Fault-tolerant solver execution: typed outcomes, declarative
+    fallback chains, and parallel racing over the {!Registry}.
 
     {!Solver.run} answers "what did this solver produce"; [Runner]
     answers the operational question "get me a validated packing
     within this deadline, no matter what".  {!run_one} classifies
-    every way a solve can go wrong — deadline, node budget, escaped
-    exception (including {!Dsp_util.Fault.Injected} faults), invalid
-    result — into a typed {!failure} that still carries the partial
-    {!Dsp_util.Instr} deltas and elapsed time, so crashed solves
-    remain observable.  {!solve} runs a fallback chain (e.g.
-    [exact-bb -> approx54 -> bfd-height]), giving each stage a slice
-    of the remaining deadline, and is total: the final heuristic
-    stages cannot time out (no cancellation checkpoints) or fail
-    validation without raising, so a validated report always comes
-    back, annotated with the full failure provenance of the stages
-    that fell through. *)
+    every way a solve can go wrong — deadline, node budget,
+    cooperative cancellation, escaped exception (including
+    {!Dsp_util.Fault.Injected} faults), invalid result — into a typed
+    {!failure} that still carries the partial {!Dsp_util.Instr} deltas
+    and elapsed time, so crashed solves remain observable.  {!solve}
+    runs a fallback chain (e.g. [exact-bb -> approx54 -> bfd-height])
+    sequentially, giving each stage a slice of the remaining deadline;
+    {!race} runs the same chain concurrently on a domain pool under
+    one shared wall-clock deadline — the first stage to produce a
+    {e validated} report wins and the losers are cancelled
+    cooperatively.  Both are total: the final heuristic safety net
+    cannot time out or fail validation without raising, so a validated
+    report always comes back, annotated with the full failure
+    provenance of the stages that fell through. *)
 
 open Dsp_core
 
@@ -23,6 +26,8 @@ type failure_kind =
   | Budget_exhausted of string  (** node budget ran out (native or budget cap) *)
   | Solver_error of string  (** an exception escaped the solver *)
   | Invalid_result of string  (** {!Report.make} rejected the packing *)
+  | Cancelled
+      (** the shared cancel flag was flipped — a racing sibling won *)
 
 type failure = {
   solver : string;
@@ -35,18 +40,27 @@ type failure = {
 type outcome = (Report.t, failure) result
 
 val kind_name : failure_kind -> string
-(** ["timeout"] / ["budget"] / ["error"] / ["invalid"]. *)
+(** ["timeout"] / ["budget"] / ["error"] / ["invalid"] /
+    ["cancelled"]. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 
 val run_one :
-  ?timeout_ms:int -> ?node_budget:int -> Solver.t -> Instance.t -> outcome
+  ?timeout_ms:int ->
+  ?node_budget:int ->
+  ?cancel:bool Atomic.t ->
+  Solver.t ->
+  Instance.t ->
+  outcome
 (** One budgeted solve with the full outcome taxonomy.  Never raises
     for solver-induced reasons: {!Dsp_util.Budget.Expired},
     {!Solver.Budget_exhausted}, and arbitrary solver exceptions all
     map to [Error].  A pending {!Dsp_util.Fault} corruption is applied
     to the returned packing before validation, which then rejects it
-    ([Invalid_result]) — proving the validation boundary holds. *)
+    ([Invalid_result]) — proving the validation boundary holds.  The
+    optional [cancel] flag threads into the solve's budget: flipping
+    it (from any domain) surfaces as a [Cancelled] failure at the next
+    checkpoint — this is how {!race} reels in its losers. *)
 
 type resolution = {
   report : Report.t;
@@ -63,13 +77,37 @@ val solve :
   ?chain:Solver.t list ->
   Instance.t ->
   resolution
-(** Run the fallback chain (default {!default_chain}) under one
-    overall deadline.  Stage [i] of the [k] remaining gets
+(** Run the fallback chain (default {!default_chain}) sequentially
+    under one overall deadline.  Stage [i] of the [k] remaining gets
     [remaining/(k - i)] of the deadline (equal slices of whatever is
-    left, so an early finisher donates its unused time downstream).
-    If every stage fails, a last-resort un-budgeted ["bfd-height"]
-    solve (polynomial, checkpoint-free — it cannot time out) makes the
-    function total.
+    left, so an early finisher donates its unused time downstream —
+    a policy that is only correct because the stages run one after
+    another; the concurrent path is {!race}).  If every stage fails, a
+    last-resort un-budgeted ["bfd-height"] solve (polynomial,
+    checkpoint-free — it cannot time out) makes the function total.
+    @raise Invalid_argument on an empty [chain]. *)
+
+val race :
+  ?timeout_ms:int ->
+  ?node_budget:int ->
+  ?chain:Solver.t list ->
+  pool:Dsp_util.Pool.t ->
+  Instance.t ->
+  resolution
+(** Run the chain concurrently on [pool] under a {e single} shared
+    wall-clock deadline — every racer gets whatever truly remains of
+    [timeout_ms] when a worker picks it up, never a per-stage slice.
+    The first solver to return a {e validated} report wins
+    ([resolution.winner]); the rest are cancelled cooperatively
+    through the shared budget flag and show up in
+    [resolution.failures] as [Cancelled] (or whatever genuinely
+    failed first).  Pool workers absorb all task exceptions, so a
+    poisoned stage cannot hang or crash the race.  If no stage
+    validates, the same safety net as {!solve} applies.  The winner is
+    timing-dependent by nature (the answer is always a validated
+    report, but which stage produced it is not deterministic), and a
+    raced report's counter deltas measure the whole portfolio's
+    concurrent work, not just the winner's.
     @raise Invalid_argument on an empty [chain]. *)
 
 val default_chain : unit -> Solver.t list

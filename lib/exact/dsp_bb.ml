@@ -11,20 +11,25 @@ exception Out_of_nodes
 let c_nodes = Dsp_util.Instr.counter "bb.nodes"
 
 (* Greedy best-fit by descending height: place each item at the start
-   column minimizing the resulting window peak. Used only as an upper
-   bound for the binary search. *)
-let greedy_height (inst : Instance.t) =
+   column minimizing the resulting window peak.  Upper bound for the
+   binary search, and the incumbent seed of the parallel search. *)
+let greedy_packing (inst : Instance.t) =
   let profile = Profile.create inst.Instance.width in
+  let starts = Array.make (Instance.n_items inst) (-1) in
   let order =
     Array.to_list inst.Instance.items |> List.sort Item.compare_by_height_desc
   in
   List.iter
     (fun (it : Item.t) ->
       match Profile.best_start profile ~len:it.w with
-      | Some (s, _) -> Profile.add_item profile it ~start:s
+      | Some (s, _) ->
+          Profile.add_item profile it ~start:s;
+          starts.(it.id) <- s
       | None -> invalid_arg "Dsp_bb.greedy_height: item wider than strip")
     order;
-  Profile.peak profile
+  Packing.make inst starts
+
+let greedy_height inst = Packing.height (greedy_packing inst)
 
 let decide_internal ~nodes ~node_limit ~budget (inst : Instance.t) ~height =
   let width = inst.Instance.width in
@@ -138,3 +143,189 @@ let solve ?(node_limit = default_node_limit) ?budget inst =
 
 let optimal_height ?node_limit ?budget inst =
   Option.map (fun pk -> Packing.height pk) (solve ?node_limit ?budget inst)
+
+(* ----- parallel search -------------------------------------------- *)
+
+(* The parallel solver keeps the serial search's move generator and
+   symmetry reductions but swaps the binary search on the height for
+   incumbent-driven minimization: the greedy packing seeds a shared
+   atomic incumbent, the first item's start column range — the root of
+   the search tree, confined to the left half by mirror symmetry — is
+   dealt round-robin across the pool workers, and every worker
+   enumerates completions that beat the *current* incumbent
+   ([limit = incumbent - 1], re-read at every node), publishing
+   improvements through one mutex-guarded cell.  Pruning against the
+   global best means one worker's lucky find immediately tightens
+   everyone else's search; on adversarial instances this makes the
+   portfolio superlinear, on easy ones it degenerates to the serial
+   node count.
+
+   Shared state and its discipline:
+   - [incumbent : int Atomic.t] — read lock-free in the hot loop,
+     written only under [best_m] (monotone decreasing);
+   - [total_nodes : int Atomic.t] — the node cap is global, so k
+     workers cannot multiply the budget by k;
+   - [stop : bool Atomic.t] — set on proven optimality (incumbent hit
+     the lower bound), node exhaustion, or a worker dying; every
+     worker polls it per node and unwinds with [Stop_search];
+   - wall-clock deadline and external cancellation ride each worker's
+     [Budget.child] of the caller's budget. *)
+
+exception Stop_search
+
+let solve_par ?(node_limit = default_node_limit) ?budget ?jobs ?pool
+    (inst : Instance.t) =
+  let width = inst.Instance.width in
+  let n = Instance.n_items inst in
+  if n = 0 then Some (Packing.make inst [||])
+  else begin
+    let lb = Instance.lower_bound inst in
+    let seed = greedy_packing inst in
+    if Packing.height seed <= lb then Some seed
+    else begin
+      let jobs =
+        match pool with
+        | Some p -> Dsp_util.Pool.size p
+        | None -> (
+            match jobs with
+            | Some j when j >= 1 -> j
+            | Some _ -> invalid_arg "Dsp_bb.solve_par: jobs must be >= 1"
+            | None -> Dsp_util.Pool.default_jobs ())
+      in
+      let order = Array.copy inst.Instance.items in
+      Array.sort Item.compare_by_area_desc order;
+      (* remaining.(k) = total area of items order.(k..); read-only. *)
+      let remaining = Array.make (n + 1) 0 in
+      for k = n - 1 downto 0 do
+        remaining.(k) <- remaining.(k + 1) + Item.area order.(k)
+      done;
+      let incumbent = Atomic.make (Packing.height seed) in
+      let best_m = Mutex.create () in
+      let best = ref seed in
+      let stop = Atomic.make false in
+      let exhausted = Atomic.make false in
+      let total_nodes = Atomic.make 0 in
+      let record peak starts =
+        Mutex.lock best_m;
+        if peak < Atomic.get incumbent then begin
+          Atomic.set incumbent peak;
+          best := Packing.make inst (Array.copy starts);
+          (* The lower bound is tight: nothing can beat it, stop the
+             whole portfolio. *)
+          if peak <= lb then Atomic.set stop true
+        end;
+        Mutex.unlock best_m
+      in
+      let it0 = order.(0) in
+      let work chunk () =
+        let wbudget = Option.map Dsp_util.Budget.child budget in
+        let loads = Segtree.create width in
+        let starts = Array.make n (-1) in
+        let used = ref 0 in
+        let place (it : Item.t) s =
+          Segtree.range_add loads ~lo:s ~hi:(s + it.w) it.h;
+          used := !used + Item.area it;
+          starts.(it.id) <- s
+        in
+        let unplace (it : Item.t) s =
+          Segtree.range_add loads ~lo:s ~hi:(s + it.w) (-it.h);
+          used := !used - Item.area it;
+          starts.(it.id) <- -1
+        in
+        let node () =
+          Dsp_util.Instr.bump c_nodes;
+          if 1 + Atomic.fetch_and_add total_nodes 1 > node_limit then begin
+            Atomic.set exhausted true;
+            Atomic.set stop true
+          end;
+          if Atomic.get stop then raise Stop_search;
+          Dsp_util.Budget.check_opt wbudget
+        in
+        let rec go k =
+          node ();
+          let limit = Atomic.get incumbent - 1 in
+          if k = n then record (Segtree.max_all loads) starts
+          else begin
+            let it = order.(k) in
+            (* Both prunes are against the *current* incumbent: the
+               profile may have been legal when its items were placed
+               and still be cut here after another worker improved. *)
+            if
+              remaining.(k) > (limit * width) - !used
+              || Segtree.max_all loads > limit
+            then ()
+            else begin
+              let min_start =
+                (* Identical items in non-decreasing start order (for
+                   k = 1 this chains off the root placement). *)
+                if order.(k - 1).Item.w = it.w && order.(k - 1).Item.h = it.h
+                then starts.(order.(k - 1).Item.id)
+                else 0
+              in
+              let rec try_start s =
+                let limit = Atomic.get incumbent - 1 in
+                match
+                  Segtree.first_fit_from loads ~from:s ~len:it.w ~height:it.h
+                    ~limit
+                with
+                | None -> ()
+                | Some s' when s' > width - it.w -> ()
+                | Some s' ->
+                    place it s';
+                    go (k + 1);
+                    unplace it s';
+                    try_start (s' + 1)
+              in
+              try_start (max 0 min_start)
+            end
+          end
+        in
+        match
+          List.iter
+            (fun s ->
+              node ();
+              if it0.h <= Atomic.get incumbent - 1 then begin
+                place it0 s;
+                go 1;
+                unplace it0 s
+              end)
+            chunk
+        with
+        | () -> ()
+        | exception Stop_search -> ()
+        | exception e ->
+            (* A real failure (deadline, cancellation, injected fault):
+               bring the siblings down too, then let the pool carry the
+               exception back to the caller. *)
+            Atomic.set stop true;
+            raise e
+      in
+      (* Round-robin deal of the root start columns: neighbouring
+         starts explore similar subtrees, so interleaving them
+         diversifies what the workers see and speeds up the first
+         incumbent improvements. *)
+      let chunks = Array.make (max 1 jobs) [] in
+      let max0 = (width - it0.w) / 2 in
+      for s = max0 downto 0 do
+        chunks.(s mod jobs) <- s :: chunks.(s mod jobs)
+      done;
+      let tasks =
+        Array.to_list chunks
+        |> List.filter (fun c -> c <> [])
+        |> List.map (fun c -> work c)
+      in
+      let results =
+        match pool with
+        | Some p -> Dsp_util.Pool.run_all p tasks
+        | None ->
+            Dsp_util.Pool.with_pool ~jobs (fun p -> Dsp_util.Pool.run_all p tasks)
+      in
+      List.iter (function Ok () -> () | Error e -> raise e) results;
+      if Atomic.get exhausted then None else Some !best
+    end
+  end
+
+let optimal_height_par ?node_limit ?budget ?jobs ?pool inst =
+  Option.map
+    (fun pk -> Packing.height pk)
+    (solve_par ?node_limit ?budget ?jobs ?pool inst)

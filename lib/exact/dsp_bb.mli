@@ -39,6 +39,37 @@ val solve :
 val optimal_height :
   ?node_limit:int -> ?budget:Dsp_util.Budget.t -> Instance.t -> int option
 
+val solve_par :
+  ?node_limit:int ->
+  ?budget:Dsp_util.Budget.t ->
+  ?jobs:int ->
+  ?pool:Dsp_util.Pool.t ->
+  Instance.t ->
+  Packing.t option
+(** Parallel exact search: the same move generator and symmetry
+    reductions as {!solve}, but incumbent-driven — the greedy packing
+    seeds a shared atomic bound, the first item's start columns (the
+    root of the search tree) are dealt round-robin across [jobs]
+    domains (default {!Dsp_util.Pool.default_jobs}; an existing [pool]
+    can be supplied instead and overrides [jobs]), and every worker
+    prunes against the global best, re-read at each node.  Returns the
+    optimal packing, or [None] when the *shared* node cap
+    ([node_limit], counted across all workers) is exhausted.  The
+    caller's [budget] supplies the wall-clock deadline and the
+    cooperative cancel flag; its node cap is ignored in favour of
+    [node_limit].  Deterministic in its result (the optimum is the
+    optimum from any search order) but not in its node count.
+    @raise Dsp_util.Budget.Expired when the budget runs out or is
+    cancelled mid-search. *)
+
+val optimal_height_par :
+  ?node_limit:int ->
+  ?budget:Dsp_util.Budget.t ->
+  ?jobs:int ->
+  ?pool:Dsp_util.Pool.t ->
+  Instance.t ->
+  int option
+
 (** Node counts: every explored node bumps the global ["bb.nodes"]
     counter ({!Dsp_util.Instr}); callers that want the count of one
     solve diff {!Dsp_util.Instr.snapshot}s around it (the solver

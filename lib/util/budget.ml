@@ -1,4 +1,4 @@
-type reason = Deadline | Nodes
+type reason = Deadline | Nodes | Cancelled
 
 exception Expired of reason
 
@@ -6,13 +6,14 @@ type t = {
   started : float;
   deadline : float option; (* absolute gettimeofday *)
   nodes : int option;
+  cancel : bool Atomic.t option;
   mutable ticks : int;
   mutable fuse : int; (* checkpoints until the next wall-clock read *)
 }
 
 let clock_interval = 64
 
-let create ?timeout_ms ?nodes () =
+let create ?timeout_ms ?nodes ?cancel () =
   let started = Unix.gettimeofday () in
   (match timeout_ms with
   | Some ms when ms < 0 -> invalid_arg "Budget.create: negative timeout"
@@ -24,16 +25,40 @@ let create ?timeout_ms ?nodes () =
     started;
     deadline = Option.map (fun ms -> started +. (float_of_int ms /. 1000.)) timeout_ms;
     nodes;
+    cancel;
     ticks = 0;
     fuse = clock_interval;
   }
 
 let unlimited () = create ()
 
+(* A worker-side view of [t] for fan-out across domains: same absolute
+   deadline and (optionally overridden) cancel flag, fresh mutable
+   checkpoint state so domains never share unsynchronized fields.  The
+   node cap is dropped — parallel callers account nodes in one shared
+   [Atomic.t] instead of k independent caps. *)
+let child ?cancel t =
+  {
+    started = t.started;
+    deadline = t.deadline;
+    nodes = None;
+    cancel = (match cancel with Some _ -> cancel | None -> t.cancel);
+    ticks = 0;
+    fuse = clock_interval;
+  }
+
 let past_deadline t =
   match t.deadline with
   | Some d -> Unix.gettimeofday () > d
   | None -> false
+
+let cancelled t =
+  match t.cancel with Some c -> Atomic.get c | None -> false
+
+(* Cancellation is polled at every checkpoint (an atomic load and a
+   branch), not just on clock reads: a racing loser should stop within
+   a handful of nodes of the winner validating. *)
+let poll_cancel t = if cancelled t then raise (Expired Cancelled)
 
 (* The fuse batches clock reads: gettimeofday is ~20ns but the hot
    loops checkpoint every node, so pay for it only once per
@@ -46,20 +71,26 @@ let burn_fuse t =
   end
 
 let check t =
+  poll_cancel t;
   t.ticks <- t.ticks + 1;
   (match t.nodes with
   | Some cap when t.ticks > cap -> raise (Expired Nodes)
   | _ -> ());
   burn_fuse t
 
-let poll t = burn_fuse t
+let poll t =
+  poll_cancel t;
+  burn_fuse t
+
 let check_opt = function Some t -> check t | None -> ()
 let poll_opt = function Some t -> poll t | None -> ()
 
 let expired t =
-  match t.nodes with
-  | Some cap when t.ticks > cap -> Some Nodes
-  | _ -> if past_deadline t then Some Deadline else None
+  if cancelled t then Some Cancelled
+  else
+    match t.nodes with
+    | Some cap when t.ticks > cap -> Some Nodes
+    | _ -> if past_deadline t then Some Deadline else None
 
 let node_cap t = t.nodes
 let ticks t = t.ticks
@@ -70,5 +101,9 @@ let remaining_ms t =
     (fun d -> Float.max 0.0 ((d -. Unix.gettimeofday ()) *. 1000.))
     t.deadline
 
-let reason_name = function Deadline -> "deadline" | Nodes -> "nodes"
+let reason_name = function
+  | Deadline -> "deadline"
+  | Nodes -> "nodes"
+  | Cancelled -> "cancelled"
+
 let pp_reason fmt r = Format.pp_print_string fmt (reason_name r)

@@ -1,5 +1,6 @@
-(** Unified solve budgets: a wall-clock deadline and a node cap in one
-    value, enforced by cooperative cancellation checkpoints.
+(** Unified solve budgets: a wall-clock deadline, a node cap, and a
+    cooperative cancellation flag in one value, enforced by
+    cancellation checkpoints.
 
     The paper's exact solvers and the (5/4+ε) binary search are
     pseudo-polynomial or exponential; on the 3-Partition hardness
@@ -11,11 +12,19 @@
     raise {!Expired} when the budget runs out; the engine boundary
     converts the exception into a typed outcome.
 
-    Cost model: a checkpoint is an increment and a compare; the wall
-    clock is only read every {!clock_interval} checkpoints, so
-    checkpoints are cheap enough for branch-and-bound inner loops. *)
+    Multicore: budgets are single-domain values (the checkpoint state
+    is unsynchronized); what crosses domains is the shared [cancel]
+    flag, a [bool Atomic.t] that every checkpoint polls.  A racing
+    runner or a parallel search hands the same atomic to many worker
+    budgets ({!child}) and flips it once to stop them all at their
+    next checkpoint.
 
-type reason = Deadline | Nodes
+    Cost model: a checkpoint is an increment, a compare, and (when a
+    cancel flag is attached) one atomic load; the wall clock is only
+    read every {!clock_interval} checkpoints, so checkpoints are cheap
+    enough for branch-and-bound inner loops. *)
+
+type reason = Deadline | Nodes | Cancelled
 
 exception Expired of reason
 (** Raised by {!check}/{!poll} at the first checkpoint past the
@@ -24,25 +33,37 @@ exception Expired of reason
 
 type t
 
-val create : ?timeout_ms:int -> ?nodes:int -> unit -> t
+val create : ?timeout_ms:int -> ?nodes:int -> ?cancel:bool Atomic.t -> unit -> t
 (** A budget starting now.  [timeout_ms] is a wall-clock deadline
     relative to creation; [nodes] caps the number of {!check}
-    checkpoints (search nodes).  Omitted components are unlimited. *)
+    checkpoints (search nodes); [cancel] is a shared flag that, once
+    set (from any domain), makes every checkpoint raise
+    [Expired Cancelled].  Omitted components are unlimited. *)
 
 val unlimited : unit -> t
 (** A budget that never expires (checkpoints still count ticks). *)
 
+val child : ?cancel:bool Atomic.t -> t -> t
+(** A worker-side copy for fanning a solve out across domains: same
+    absolute deadline, fresh checkpoint state (budgets themselves must
+    not be shared between domains), and the parent's cancel flag
+    unless [cancel] overrides it.  The node cap is dropped — parallel
+    searches account nodes in one shared [Atomic.t], not k independent
+    caps. *)
+
 val check : t -> unit
 (** Node-counting checkpoint: one tick; raises [Expired Nodes] when
-    the tick count exceeds the node cap, and [Expired Deadline] when a
-    (batched) clock read lands past the deadline.  Call it once per
-    search node. *)
+    the tick count exceeds the node cap, [Expired Cancelled] when the
+    shared cancel flag is set, and [Expired Deadline] when a (batched)
+    clock read lands past the deadline.  Call it once per search
+    node. *)
 
 val poll : t -> unit
-(** Deadline-only checkpoint for loops whose iterations are not search
-    nodes (simplex pivots, placement passes): never consumes the node
-    cap, still raises [Expired Deadline].  Clock reads are batched
-    exactly as in {!check}. *)
+(** Deadline/cancellation-only checkpoint for loops whose iterations
+    are not search nodes (simplex pivots, placement passes): never
+    consumes the node cap, still raises [Expired Deadline] and
+    [Expired Cancelled].  Clock reads are batched exactly as in
+    {!check}. *)
 
 val check_opt : t option -> unit
 (** {!check} when a budget is present, no-op otherwise — for solver
@@ -52,7 +73,7 @@ val poll_opt : t option -> unit
 (** {!poll} when a budget is present, no-op otherwise. *)
 
 val expired : t -> reason option
-(** Non-raising probe (always reads the clock). *)
+(** Non-raising probe (always reads the clock and the cancel flag). *)
 
 val node_cap : t -> int option
 (** The node cap, for solvers with native node accounting (the
@@ -73,6 +94,6 @@ val clock_interval : int
 (** Checkpoints between wall-clock reads (64). *)
 
 val reason_name : reason -> string
-(** ["deadline"] / ["nodes"]. *)
+(** ["deadline"] / ["nodes"] / ["cancelled"]. *)
 
 val pp_reason : Format.formatter -> reason -> unit

@@ -3,48 +3,53 @@ type plan = { site : string; action : action; after : int }
 
 exception Injected of string
 
-type state = { plan : plan; mutable hits : int; mutable fired : bool }
+(* Hit and fired state is atomic so a plan stays one-shot when the
+   instrumented site is being hammered from several pool workers at
+   once: fetch_and_add hands every hit a unique ordinal, so exactly
+   one worker observes ordinal = after, and the compare_and_set on
+   [fired] is belt-and-braces on top. *)
+type state = { plan : plan; hits : int Atomic.t; fired : bool Atomic.t }
 
-let current : state option ref = ref None
-let pending_corruption = ref false
+let current : state option Atomic.t = Atomic.make None
+let pending_corruption = Atomic.make false
 
 let fire (p : plan) =
   match p.action with
   | Raise -> raise (Injected (Printf.sprintf "injected fault at %s (hit %d)" p.site p.after))
   | Stall s -> Unix.sleepf s
-  | Corrupt -> pending_corruption := true
+  | Corrupt -> Atomic.set pending_corruption true
 
 let on_hit name =
-  match !current with
+  match Atomic.get current with
   | None -> ()
   | Some st ->
-      if (not st.fired) && String.equal name st.plan.site then begin
-        st.hits <- st.hits + 1;
-        if st.hits >= st.plan.after then begin
-          st.fired <- true;
-          fire st.plan
-        end
+      if (not (Atomic.get st.fired)) && String.equal name st.plan.site then begin
+        let ordinal = 1 + Atomic.fetch_and_add st.hits 1 in
+        if ordinal = st.plan.after && Atomic.compare_and_set st.fired false true
+        then fire st.plan
       end
 
 let arm plan =
   if plan.after < 1 then invalid_arg "Fault.arm: after must be >= 1";
-  current := Some { plan; hits = 0; fired = false };
-  pending_corruption := false;
+  Atomic.set current
+    (Some { plan; hits = Atomic.make 0; fired = Atomic.make false });
+  Atomic.set pending_corruption false;
   Instr.set_on_hit (Some on_hit)
 
 let disarm () =
-  current := None;
-  pending_corruption := false;
+  Atomic.set current None;
+  Atomic.set pending_corruption false;
   Instr.set_on_hit None
 
-let armed () = Option.map (fun st -> st.plan) !current
-let fired () = match !current with Some st -> st.fired | None -> false
-let hits () = match !current with Some st -> st.hits | None -> 0
+let armed () = Option.map (fun st -> st.plan) (Atomic.get current)
 
-let take_corruption () =
-  let c = !pending_corruption in
-  pending_corruption := false;
-  c
+let fired () =
+  match Atomic.get current with Some st -> Atomic.get st.fired | None -> false
+
+let hits () =
+  match Atomic.get current with Some st -> Atomic.get st.hits | None -> 0
+
+let take_corruption () = Atomic.exchange pending_corruption false
 
 let default_stall_ms = 200
 

@@ -14,8 +14,11 @@
       corrupted packing to [Report] validation — models a solver
       returning garbage.
 
-    Plans are one-shot and process-global (the test and bench
-    harnesses are sequential); always {!disarm} in a [Fun.protect]
+    Plans are one-shot and process-global; the hit count and the
+    fired flag are atomic, so a plan fires {e exactly once} even when
+    the instrumented site is hit concurrently from several pool
+    worker domains (every hit draws a unique ordinal, and only the
+    [after]-th fires).  Always {!disarm} in a [Fun.protect]
     finalizer.  The harness exists to prove the PR 2 "fail loudly"
     boundary and the {!Dsp_engine.Runner} fallback chains actually
     absorb faults instead of crashing. *)

@@ -1,45 +1,111 @@
-type counter = { cname : string; mutable count : int }
+(* Counters are domain-safe without hot-path synchronization: each
+   counter owns a slot index, and every domain keeps its own slot
+   array in domain-local storage.  A bump touches only the calling
+   domain's cell (one DLS load, one bounds check, one unboxed add);
+   [value]/[snapshot] aggregate by summing the slot across every
+   domain's array.  The arrays of exited domains stay registered (the
+   global list keeps them alive), so totals never lose work done by a
+   pool worker that has since terminated.
 
-(* Registries are tiny (tens of entries) and touched only at module
-   initialisation and on snapshot/reset, so a Hashtbl is plenty. *)
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+   Aggregates read concurrently with running workers are racy-but-
+   monotone approximations; they are exact once the workers have been
+   joined (the join is the synchronization point).  Everything the
+   engine does — snapshot before a solve, snapshot after the solve and
+   any pool joins — reads at quiescence. *)
+
+type counter = { cname : string; key : int }
+
+let mutex = Mutex.create ()
+
+(* Registries are tiny (tens of entries, one array per domain) and
+   touched only at module initialisation and on snapshot/reset. *)
+let by_name : (string, counter) Hashtbl.t = Hashtbl.create 32
+let registered : counter list ref = ref []
+let next_key = ref 0
+let domain_cells : int array ref list ref = ref []
 let phase_seconds : (string, float ref) Hashtbl.t = Hashtbl.create 8
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { cname = name; count = 0 } in
-      Hashtbl.add counters name c;
-      c
+  Mutex.lock mutex;
+  let c =
+    match Hashtbl.find_opt by_name name with
+    | Some c -> c
+    | None ->
+        let c = { cname = name; key = !next_key } in
+        incr next_key;
+        Hashtbl.add by_name name c;
+        registered := c :: !registered;
+        c
+  in
+  Mutex.unlock mutex;
+  c
+
+(* This domain's slot array, grown (by replacement, old values
+   blitted) when a counter created later than the array is bumped. *)
+let slots : int array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let box = ref (Array.make 64 0) in
+      Mutex.lock mutex;
+      domain_cells := box :: !domain_cells;
+      Mutex.unlock mutex;
+      box)
+
+let cells key =
+  let box = Domain.DLS.get slots in
+  let a = !box in
+  if key < Array.length a then a
+  else begin
+    let b = Array.make (max (key + 1) (2 * Array.length a)) 0 in
+    Array.blit a 0 b 0 (Array.length a);
+    box := b;
+    b
+  end
 
 (* Per-hit hook: the fault-injection harness (Fault) registers itself
    here, turning every counted site into a fault point.  Disarmed (the
-   overwhelmingly common case) the cost is one load and branch. *)
-let on_hit : (string -> unit) option ref = ref None
-let set_on_hit f = on_hit := f
+   overwhelmingly common case) the cost is one load and branch.  The
+   hook is installed before workers start and removed after they are
+   joined; the atomic makes the handoff well-defined either way. *)
+let on_hit : (string -> unit) option Atomic.t = Atomic.make None
+let set_on_hit f = Atomic.set on_hit f
 
-let hit c = match !on_hit with None -> () | Some f -> f c.cname
+let hit c = match Atomic.get on_hit with None -> () | Some f -> f c.cname
 
 let bump c =
-  c.count <- c.count + 1;
+  let a = cells c.key in
+  a.(c.key) <- a.(c.key) + 1;
   hit c
 
 let add c n =
   if n < 0 then invalid_arg "Instr.add: counters are monotone";
-  c.count <- c.count + n;
+  let a = cells c.key in
+  a.(c.key) <- a.(c.key) + n;
   hit c
 
-let value c = c.count
+let all_cells () =
+  Mutex.lock mutex;
+  let cs = !domain_cells in
+  Mutex.unlock mutex;
+  cs
+
+let sum_slot cells key =
+  List.fold_left
+    (fun acc box ->
+      let a = !box in
+      acc + if key < Array.length a then a.(key) else 0)
+    0 cells
+
+let value c = sum_slot (all_cells ()) c.key
 let name c = c.cname
 
 type snapshot = (string * int) list
 
-let sorted_bindings tbl value =
-  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+let snapshot () =
+  Mutex.lock mutex;
+  let counters = !registered and cells = !domain_cells in
+  Mutex.unlock mutex;
+  List.map (fun c -> (c.cname, sum_slot cells c.key)) counters
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-let snapshot () = sorted_bindings counters (fun c -> c.count)
 
 let delta ~before ~after =
   List.filter_map
@@ -49,21 +115,32 @@ let delta ~before ~after =
     after
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
-  Hashtbl.reset phase_seconds
+  Mutex.lock mutex;
+  List.iter (fun box -> Array.fill !box 0 (Array.length !box) 0) !domain_cells;
+  Hashtbl.reset phase_seconds;
+  Mutex.unlock mutex
 
 let time phase f =
   let cell =
-    match Hashtbl.find_opt phase_seconds phase with
-    | Some r -> r
-    | None ->
-        let r = ref 0.0 in
-        Hashtbl.add phase_seconds phase r;
-        r
+    Mutex.lock mutex;
+    let r =
+      match Hashtbl.find_opt phase_seconds phase with
+      | Some r -> r
+      | None ->
+          let r = ref 0.0 in
+          Hashtbl.add phase_seconds phase r;
+          r
+    in
+    Mutex.unlock mutex;
+    r
   in
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () -> cell := !cell +. (Unix.gettimeofday () -. t0))
     f
 
-let timers () = sorted_bindings phase_seconds (fun r -> !r)
+let timers () =
+  Mutex.lock mutex;
+  let bindings = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) phase_seconds [] in
+  Mutex.unlock mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) bindings

@@ -8,15 +8,27 @@
     shared counter vocabulary instead of ad-hoc per-module stats
     plumbing.
 
-    Cost model: a counter is an [int ref] obtained once at module
-    initialisation; bumping it is a single unboxed increment, cheap
+    Cost model: a counter handle is obtained once at module
+    initialisation; bumping it touches only the calling domain's cell
+    (a domain-local load, a bounds check, and an unboxed add), cheap
     enough to stay enabled in production and inside O(log n)
     kernels.  The global registry is only touched on {!counter}
-    creation and on {!snapshot}/{!reset}. *)
+    creation and on {!snapshot}/{!reset}.
+
+    Multicore: counters are sharded per domain.  Each domain
+    increments its own cell with no synchronization; {!value} and
+    {!snapshot} aggregate by summing the cell across every domain that
+    ever bumped (cells of exited pool workers are retained, so their
+    work is never lost).  Aggregates read while workers are still
+    running are racy-but-monotone approximations; after the workers
+    are joined they are exact — the engine only snapshots at such
+    quiescent points, which is what makes "serial totals = sum of
+    per-domain deltas" hold. *)
 
 type counter
 (** A named monotonic counter.  Counters are process-global: two
-    {!counter} calls with the same name share state. *)
+    {!counter} calls with the same name share state (each domain
+    bumping its own cell of it). *)
 
 val counter : string -> counter
 (** Find or create the counter with this name.  Call it once at module
@@ -31,6 +43,8 @@ val add : counter -> int -> unit
     monotone). *)
 
 val value : counter -> int
+(** Sum of the counter's per-domain cells (exact at quiescence). *)
+
 val name : counter -> string
 
 val set_on_hit : (string -> unit) option -> unit
@@ -52,8 +66,9 @@ val delta : before:snapshot -> after:snapshot -> (string * int) list
     created after [before] count from zero. *)
 
 val reset : unit -> unit
-(** Zero every counter and drop every timer.  For test isolation; the
-    engine itself only ever diffs snapshots. *)
+(** Zero every counter (in every domain's cells) and drop every
+    timer.  For test isolation; the engine itself only ever diffs
+    snapshots.  Do not call while worker domains are mid-solve. *)
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time phase f] runs [f], accumulating its wall-clock seconds under

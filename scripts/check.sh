@@ -51,3 +51,22 @@ timeout 60 dune exec bin/dsp_cli.exe -- \
   solve --fallback exact-bb,approx54,bfd-height \
   --inject "bb.nodes:raise" --timeout-ms 2000 "$inst" >/dev/null
 echo "ok: fallback chain stays total under injection"
+
+# --- multicore smoke (--jobs 2) --------------------------------------
+# Race the fallback chain on a 2-domain pool: must return a validated
+# report (exit 0) under one shared deadline, never hang — the losers
+# are reeled in by cooperative cancellation.
+timeout 60 dune exec bin/dsp_cli.exe -- \
+  solve --race --jobs 2 --fallback exact-bb,approx54,bfd-height \
+  --timeout-ms 2000 "$inst" | grep -q "^race: winner " \
+  || { echo "FAIL: --race --jobs 2 did not report a winner" >&2; exit 1; }
+echo "ok: raced fallback chain returns a validated winner (--jobs 2)"
+
+# Parallel B&B kernel: the root-split search on 2 domains must agree
+# with the optimum the race path just certified (exact-bb-par shares
+# its node budget across workers, so this also exercises the shared
+# atomic accounting).
+timeout 60 dune exec bin/dsp_cli.exe -- \
+  solve --algo exact-bb-par --jobs 2 --timeout-ms 5000 "$inst" >/dev/null \
+  || { echo "FAIL: exact-bb-par --jobs 2 smoke failed" >&2; exit 1; }
+echo "ok: exact-bb-par solves on a 2-domain pool"

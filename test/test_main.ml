@@ -23,5 +23,6 @@ let () =
       ("budget-fit", Test_budget_fit.suite);
       ("engine", Test_engine.suite);
       ("runner", Test_runner.suite);
+      ("parallel", Test_parallel.suite);
       ("bench", Test_bench.suite);
     ]

@@ -1,0 +1,308 @@
+(* Multicore layer: the domain pool, per-domain Instr aggregation,
+   one-shot faults under contention, the parallel branch-and-bound
+   (differential against the serial solver), and the racing runner. *)
+
+module Pool = Dsp_util.Pool
+module Budget = Dsp_util.Budget
+module Instr = Dsp_util.Instr
+module Fault = Dsp_util.Fault
+module Runner = Dsp_engine.Runner
+module Registry = Dsp_engine.Registry
+module Report = Dsp_engine.Report
+module Rng = Dsp_util.Rng
+module Gen = Dsp_instance.Generators
+module Bb = Dsp_exact.Dsp_bb
+
+let find = Registry.find_exn
+
+let with_fault plan f =
+  Fault.arm plan;
+  Fun.protect ~finally:Fault.disarm f
+
+(* Small seeded corpus the exact solver cracks quickly. *)
+let corpus () =
+  List.concat_map
+    (fun seed ->
+      let rng () = Rng.create seed in
+      [
+        Gen.uniform (rng ()) ~n:(5 + (seed mod 4)) ~width:(8 + (seed mod 5))
+          ~max_w:6 ~max_h:8;
+        Gen.tall_and_flat (rng ()) ~n:(4 + (seed mod 3)) ~width:10 ~max_h:7;
+        Gen.correlated (rng ()) ~n:(4 + (seed mod 4)) ~width:9 ~max_w:5 ~max_h:6;
+      ])
+    [ 0; 1; 2; 3; 4; 5 ]
+
+(* Seed picked so the exact branch-and-bound needs tens of seconds:
+   a reliable victim for deadlines and cancellation. *)
+let hard_instance () =
+  let rng = Rng.create 2 in
+  Gen.uniform rng ~n:28 ~width:24 ~max_w:12 ~max_h:10
+
+let pool_tests =
+  [
+    Alcotest.test_case "map preserves order and values" `Quick (fun () ->
+        Pool.with_pool ~jobs:4 (fun pool ->
+            let xs = List.init 100 Fun.id in
+            Alcotest.(check (list int))
+              "squares" (List.map (fun x -> x * x) xs)
+              (Pool.map pool (fun x -> x * x) xs)));
+    Alcotest.test_case "await re-raises the task's exception" `Quick (fun () ->
+        Pool.with_pool ~jobs:2 (fun pool ->
+            let fut = Pool.submit pool (fun () -> failwith "boom") in
+            Alcotest.check_raises "re-raised" (Failure "boom") (fun () ->
+                Pool.await fut)));
+    Alcotest.test_case "run_all isolates failures per task" `Quick (fun () ->
+        Pool.with_pool ~jobs:3 (fun pool ->
+            let outcomes =
+              Pool.run_all pool
+                [
+                  (fun () -> 1);
+                  (fun () -> failwith "poisoned");
+                  (fun () -> 3);
+                ]
+            in
+            (match outcomes with
+            | [ Ok 1; Error (Failure _); Ok 3 ] -> ()
+            | _ -> Alcotest.fail "wrong outcome shape");
+            (* The pool survived the poisoned task. *)
+            Alcotest.(check (list int)) "still alive" [ 10; 20 ]
+              (Pool.map pool (fun x -> 10 * x) [ 1; 2 ])));
+    Alcotest.test_case "submit after shutdown is refused" `Quick (fun () ->
+        let pool = Pool.create ~jobs:2 in
+        Pool.shutdown pool;
+        Pool.shutdown pool (* idempotent *);
+        Alcotest.(check bool) "refused" true
+          (try
+             ignore (Pool.submit pool (fun () -> ()));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "default_jobs override wins" `Quick (fun () ->
+        let before = Pool.default_jobs () in
+        Pool.set_default_jobs 3;
+        Alcotest.(check int) "override" 3 (Pool.default_jobs ());
+        Pool.set_default_jobs before;
+        Alcotest.(check int) "restored" before (Pool.default_jobs ()));
+  ]
+
+let instr_tests =
+  [
+    Alcotest.test_case "aggregation is exact after join: 4 domains x 5000"
+      `Quick (fun () ->
+        let c = Instr.counter "test.par.bumps" in
+        let before = Instr.value c in
+        Pool.with_pool ~jobs:4 (fun pool ->
+            ignore
+              (Pool.run_all pool
+                 (List.init 4 (fun _ () ->
+                      for _ = 1 to 5000 do
+                        Instr.bump c
+                      done))));
+        (* Workers are joined: the per-domain deltas must sum exactly. *)
+        Alcotest.(check int) "sum of per-domain deltas" 20_000
+          (Instr.value c - before));
+    Alcotest.test_case "snapshot delta sees cross-domain work" `Quick
+      (fun () ->
+        let c = Instr.counter "test.par.delta" in
+        let before = Instr.snapshot () in
+        Pool.with_pool ~jobs:3 (fun pool ->
+            ignore
+              (Pool.run_all pool
+                 (List.init 3 (fun _ () ->
+                      for _ = 1 to 111 do
+                        Instr.bump c
+                      done))));
+        let delta = Instr.delta ~before ~after:(Instr.snapshot ()) in
+        Alcotest.(check (option int))
+          "delta" (Some 333)
+          (List.assoc_opt "test.par.delta" delta));
+    Alcotest.test_case "one-shot fault fires exactly once under contention"
+      `Quick (fun () ->
+        let c = Instr.counter "test.par.fault" in
+        let outcomes =
+          with_fault
+            { Fault.site = "test.par.fault"; action = Fault.Raise; after = 1 }
+            (fun () ->
+              Pool.with_pool ~jobs:4 (fun pool ->
+                  Pool.run_all pool
+                    (List.init 4 (fun _ () ->
+                         for _ = 1 to 1000 do
+                           Instr.bump c
+                         done))))
+        in
+        let raised =
+          List.length (List.filter Result.is_error outcomes)
+        in
+        Alcotest.(check int) "exactly one worker hit the fault" 1 raised;
+        List.iter
+          (function
+            | Error e ->
+                Alcotest.(check bool) "typed Injected" true
+                  (match e with Fault.Injected _ -> true | _ -> false)
+            | Ok () -> ())
+          outcomes);
+  ]
+
+let check_opt msg expected actual =
+  Alcotest.(check (option int)) msg expected actual
+
+let solve_par_tests =
+  [
+    Alcotest.test_case "differential: solve_par(4) = serial optimum on corpus"
+      `Slow (fun () ->
+        List.iteri
+          (fun i inst ->
+            let serial = Bb.optimal_height inst in
+            let par = Bb.optimal_height_par ~jobs:4 inst in
+            check_opt (Printf.sprintf "instance %d" i) serial par)
+          (corpus ()));
+    Alcotest.test_case "differential: shared pool, jobs=2" `Slow (fun () ->
+        Pool.with_pool ~jobs:2 (fun pool ->
+            List.iteri
+              (fun i inst ->
+                check_opt
+                  (Printf.sprintf "instance %d" i)
+                  (Bb.optimal_height inst)
+                  (Bb.optimal_height_par ~pool inst))
+              (corpus ())));
+    Alcotest.test_case "edge cases: empty, single item, greedy-tight" `Quick
+      (fun () ->
+        let empty = Dsp_core.Instance.of_dims ~width:5 [] in
+        check_opt "empty" (Some 0) (Bb.optimal_height_par ~jobs:3 empty);
+        let one = Dsp_core.Instance.of_dims ~width:5 [ (3, 4) ] in
+        check_opt "single" (Some 4) (Bb.optimal_height_par ~jobs:3 one);
+        (* Perfect fit: the greedy seed already meets the lower bound,
+           no search happens. *)
+        let tight = Dsp_core.Instance.of_dims ~width:4 [ (4, 2); (4, 3) ] in
+        check_opt "greedy-tight" (Some 5) (Bb.optimal_height_par ~jobs:3 tight));
+    Alcotest.test_case "shared node cap exhausts across workers" `Quick
+      (fun () ->
+        check_opt "exhausted" None
+          (Bb.optimal_height_par ~jobs:4 ~node_limit:50 (hard_instance ())));
+    Alcotest.test_case "cancellation unwinds as Expired Cancelled" `Quick
+      (fun () ->
+        let cancel = Atomic.make true in
+        let budget = Budget.create ~cancel () in
+        Alcotest.check_raises "cancelled"
+          (Budget.Expired Budget.Cancelled) (fun () ->
+            ignore (Bb.solve_par ~jobs:2 ~budget (hard_instance ()))));
+    Alcotest.test_case "fault raise inside workers surfaces, pool joins"
+      `Quick (fun () ->
+        let raised =
+          with_fault
+            { Fault.site = "bb.nodes"; action = Fault.Raise; after = 200 }
+            (fun () ->
+              try
+                ignore (Bb.solve_par ~jobs:4 (hard_instance ()));
+                false
+              with Fault.Injected _ -> true)
+        in
+        Alcotest.(check bool) "typed Injected escaped solve_par" true raised);
+  ]
+
+let race_tests =
+  [
+    Alcotest.test_case "race of [exact-bb] equals the serial optimum" `Quick
+      (fun () ->
+        let inst = List.nth (corpus ()) 0 in
+        let opt = Option.get (Bb.optimal_height inst) in
+        Pool.with_pool ~jobs:2 (fun pool ->
+            let res = Runner.race ~chain:[ find "exact-bb" ] ~pool inst in
+            Alcotest.(check string) "winner" "exact-bb" res.Runner.winner;
+            Alcotest.(check int) "peak" opt res.Runner.report.Report.peak));
+    Alcotest.test_case "race winner matches some chain member's answer"
+      `Quick (fun () ->
+        let inst = List.nth (corpus ()) 1 in
+        let chain = Runner.default_chain () in
+        let member_peaks =
+          List.filter_map
+            (fun s ->
+              match Runner.run_one s inst with
+              | Ok r -> Some r.Report.peak
+              | Error _ -> None)
+            chain
+        in
+        Pool.with_pool ~jobs:3 (fun pool ->
+            let res = Runner.race ~chain ~pool inst in
+            Alcotest.(check bool) "not the safety net" false
+              res.Runner.safety_net;
+            Alcotest.(check bool) "winner is a chain member" true
+              (List.mem res.Runner.winner
+                 (List.map (fun (s : Dsp_engine.Solver.t) -> s.name) chain));
+            Alcotest.(check bool) "peak matches that member" true
+              (List.mem res.Runner.report.Report.peak member_peaks)));
+    Alcotest.test_case "losers are cancelled, not timed out" `Quick (fun () ->
+        (* approx54 cracks the hard instance quickly; exact-bb cannot,
+           and must be reeled in by the winner's cancel flag. *)
+        let inst = hard_instance () in
+        Pool.with_pool ~jobs:2 (fun pool ->
+            let res =
+              Runner.race ~timeout_ms:60_000
+                ~chain:[ find "exact-bb"; find "approx54" ] ~pool inst
+            in
+            Alcotest.(check string) "winner" "approx54" res.Runner.winner;
+            Alcotest.(check bool) "exact-bb cancelled" true
+              (List.exists
+                 (fun f ->
+                   f.Runner.solver = "exact-bb"
+                   && Runner.kind_name f.Runner.kind = "cancelled")
+                 res.Runner.failures)));
+    Alcotest.test_case "racing stages share one wall-clock deadline" `Quick
+      (fun () ->
+        (* Two concurrent exact stages under a 400ms budget: with the
+           (sequential) per-stage slicing each would die near 200ms;
+           sharing the deadline, both must run essentially the full
+           window. *)
+        let inst = hard_instance () in
+        Pool.with_pool ~jobs:2 (fun pool ->
+            let res =
+              Runner.race ~timeout_ms:400
+                ~chain:[ find "exact-bb"; find "exact-bb" ] ~pool inst
+            in
+            Alcotest.(check bool) "degraded to the safety net" true
+              res.Runner.safety_net;
+            List.iter
+              (fun f ->
+                Alcotest.(check string)
+                  (f.Runner.solver ^ " timed out") "timeout"
+                  (Runner.kind_name f.Runner.kind);
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s ran the full window (%.0f ms)"
+                     f.Runner.solver
+                     (f.Runner.seconds *. 1000.))
+                  true
+                  (f.Runner.seconds > 0.3))
+              res.Runner.failures));
+    Alcotest.test_case "race stays total under injected faults" `Quick
+      (fun () ->
+        let inst = List.nth (corpus ()) 2 in
+        let res =
+          with_fault
+            { Fault.site = "bb.nodes"; action = Fault.Raise; after = 1 }
+            (fun () ->
+              Pool.with_pool ~jobs:3 (fun pool ->
+                  Runner.race ~chain:(Runner.default_chain ()) ~pool inst))
+        in
+        Alcotest.(check bool) "validated report" true
+          (res.Runner.report.Report.peak > 0);
+        List.iter
+          (fun f ->
+            Alcotest.(check bool)
+              (f.Runner.solver ^ " failure is typed") true
+              (List.mem
+                 (Runner.kind_name f.Runner.kind)
+                 [ "timeout"; "budget"; "error"; "invalid"; "cancelled" ]))
+          res.Runner.failures);
+    Alcotest.test_case "registry exact-bb-par agrees with exact-bb" `Quick
+      (fun () ->
+        let inst = List.nth (corpus ()) 3 in
+        let peak_of name =
+          match Runner.run_one (find name) inst with
+          | Ok r -> r.Report.peak
+          | Error f -> Alcotest.failf "%s: %a" name Runner.pp_failure f
+        in
+        Alcotest.(check int) "same optimum" (peak_of "exact-bb")
+          (peak_of "exact-bb-par"));
+  ]
+
+let suite =
+  pool_tests @ instr_tests @ solve_par_tests @ race_tests
