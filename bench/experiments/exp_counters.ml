@@ -71,6 +71,20 @@ let counters () =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
         |> List.sort compare
       in
+      (* Every counter a solve moved must come from the canonical
+         Instr.Sites vocabulary: an unregistered name here means a
+         counter was minted outside the table (the static side of this
+         guard is dsp_lint rule R4). *)
+      let unregistered =
+        List.filter (fun (k, _) -> not (Dsp_util.Instr.Sites.mem k)) merged
+      in
+      List.iter
+        (fun (k, _) ->
+          Printf.printf "  WARNING: counter %S is not in Instr.Sites\n" k)
+        unregistered;
+      Bench_json.record ~experiment:"counters"
+        (s.Solver.name ^ ".unregistered_sites")
+        (Bench_json.Int (List.length unregistered));
       Bench_json.record ~experiment:"counters" (s.Solver.name ^ ".solved")
         (Bench_json.Int !solved);
       Bench_json.record_counters ~experiment:"counters" ~solver:s.Solver.name

@@ -23,14 +23,18 @@ module Fault = Dsp_util.Fault
 module Rng = Dsp_util.Rng
 
 (* One instrumented site per solver family, chosen to be hit early on
-   the test instance. *)
+   the test instance.  Sites come from the canonical Instr.Sites
+   table, so a renamed counter fails to compile here instead of
+   silently turning the whole matrix into "ok" rows. *)
+module Sites = Dsp_util.Instr.Sites
+
 let matrix =
   [
-    ("bfd-height", "segtree.best_start");
-    ("ff-doubling", "budget_fit.first_fit_probes");
-    ("approx54", "approx54.attempts");
-    ("exact-bb", "bb.nodes");
-    ("pts-duality", "segtree.range_add");
+    ("bfd-height", Sites.segtree_best_start);
+    ("ff-doubling", Sites.budget_fit_first_fit_probes);
+    ("approx54", Sites.approx54_attempts);
+    ("exact-bb", Sites.bb_nodes);
+    ("pts-duality", Sites.segtree_range_add);
   ]
 
 (* The stall outlives the deadline, so solvers with cancellation
@@ -85,7 +89,7 @@ let run ~experiment ~timeout_ms ~sizes () =
      and still deliver a validated report. *)
   List.iter
     (fun (action_name, action) ->
-      Fault.arm { Fault.site = "bb.nodes"; action; after = 1 };
+      Fault.arm { Fault.site = Sites.bb_nodes; action; after = 1 };
       let res =
         Fun.protect ~finally:Fault.disarm (fun () ->
             Runner.solve ~timeout_ms

@@ -12,11 +12,12 @@ module Naive = struct
   let width t = Array.length t.loads
 
   let add t ~start ~len ~height =
-    if start < 0 || len < 0 || start + len > width t then
+    let stop = Dsp_util.Xutil.checked_add start len in
+    if start < 0 || len < 0 || stop > width t then
       invalid_arg
         (Printf.sprintf "Profile.add: range [%d,%d) outside strip of width %d"
-           start (start + len) (width t));
-    for x = start to start + len - 1 do
+           start stop (width t));
+    for x = start to stop - 1 do
       t.loads.(x) <- Dsp_util.Xutil.checked_add t.loads.(x) height
     done
 
@@ -26,10 +27,11 @@ module Naive = struct
   let peak t = Array.fold_left max 0 t.loads
 
   let peak_in t ~start ~len =
-    if start < 0 || len < 0 || start + len > width t then
+    let stop = Dsp_util.Xutil.checked_add start len in
+    if start < 0 || len < 0 || stop > width t then
       invalid_arg "Profile.peak_in: range outside strip";
     let m = ref 0 in
-    for x = start to start + len - 1 do
+    for x = start to stop - 1 do
       if t.loads.(x) > !m then m := t.loads.(x)
     done;
     !m
@@ -54,11 +56,12 @@ let create width =
 let width t = Segtree.size t.tree
 
 let add t ~start ~len ~height =
-  if start < 0 || len < 0 || start + len > width t then
+  let stop = Dsp_util.Xutil.checked_add start len in
+  if start < 0 || len < 0 || stop > width t then
     invalid_arg
       (Printf.sprintf "Profile.add: range [%d,%d) outside strip of width %d"
-         start (start + len) (width t));
-  Segtree.range_add t.tree ~lo:start ~hi:(start + len) height
+         start stop (width t));
+  Segtree.range_add t.tree ~lo:start ~hi:stop height
 
 let add_item t (it : Item.t) ~start = add t ~start ~len:it.w ~height:it.h
 let remove_item t (it : Item.t) ~start = add t ~start ~len:it.w ~height:(-it.h)
@@ -70,9 +73,10 @@ let load t x = Segtree.get t.tree x
 let peak t = max 0 (Segtree.max_all t.tree)
 
 let peak_in t ~start ~len =
-  if start < 0 || len < 0 || start + len > width t then
+  let stop = Dsp_util.Xutil.checked_add start len in
+  if start < 0 || len < 0 || stop > width t then
     invalid_arg "Profile.peak_in: range outside strip";
-  max 0 (Segtree.range_max t.tree ~lo:start ~hi:(start + len))
+  max 0 (Segtree.range_max t.tree ~lo:start ~hi:stop)
 
 let copy t = { tree = Segtree.copy t.tree }
 let to_array t = Segtree.to_array t.tree

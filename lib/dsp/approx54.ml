@@ -16,8 +16,8 @@ let floor_frac frac scale = Rat.floor (Rat.mul frac (Rat.of_int scale))
 (* One bump per binary-search iteration on the guessed optimum H'
    (and one per decision attempt), mirroring [stats.guesses] into the
    shared counter vocabulary of the engine's reports. *)
-let c_guesses = Dsp_util.Instr.counter "approx54.guesses"
-let c_attempts = Dsp_util.Instr.counter "approx54.attempts"
+let c_guesses = Dsp_util.Instr.counter Dsp_util.Instr.Sites.approx54_guesses
+let c_attempts = Dsp_util.Instr.counter Dsp_util.Instr.Sites.approx54_attempts
 
 let attempt ?(eps = Rat.make 1 4) ?budget (inst : Instance.t) ~target =
   Dsp_util.Instr.bump c_attempts;

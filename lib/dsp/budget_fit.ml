@@ -4,8 +4,8 @@ type state = { inst : Instance.t; profile : Profile.t; starts : int array }
 
 (* Per-probe counters: a probe is one placement attempt (successful or
    not), the unit the engine's reports aggregate. *)
-let c_first_fit = Dsp_util.Instr.counter "budget_fit.first_fit_probes"
-let c_best_fit = Dsp_util.Instr.counter "budget_fit.best_fit_probes"
+let c_first_fit = Dsp_util.Instr.counter Dsp_util.Instr.Sites.budget_fit_first_fit_probes
+let c_best_fit = Dsp_util.Instr.counter Dsp_util.Instr.Sites.budget_fit_best_fit_probes
 
 let create (inst : Instance.t) =
   {

@@ -3,16 +3,23 @@ open Dsp_core
 exception Duplicate of string
 
 (* Registration order is display order; the table is small, a list is
-   fine. *)
-let solvers : Solver.t list ref = ref []
+   fine.  The cell is atomic, not a bare ref: registration happens at
+   module initialisation on the main domain, but Runner.race and the
+   pooled compare path read the table from worker domains (dsp_lint
+   rule R2 polices exactly this kind of toplevel mutable state). *)
+let solvers : Solver.t list Atomic.t = Atomic.make []
 
-let register (s : Solver.t) =
-  if List.exists (fun (r : Solver.t) -> r.Solver.name = s.Solver.name) !solvers
-  then raise (Duplicate s.Solver.name);
-  solvers := !solvers @ [ s ]
+let rec register (s : Solver.t) =
+  let cur = Atomic.get solvers in
+  if List.exists (fun (r : Solver.t) -> r.Solver.name = s.Solver.name) cur then
+    raise (Duplicate s.Solver.name);
+  (* CAS retry keeps concurrent registration sound without a lock. *)
+  if not (Atomic.compare_and_set solvers cur (cur @ [ s ])) then register s
 
-let all () = !solvers
-let find name = List.find_opt (fun (s : Solver.t) -> s.Solver.name = name) !solvers
+let all () = Atomic.get solvers
+
+let find name =
+  List.find_opt (fun (s : Solver.t) -> s.Solver.name = name) (all ())
 
 let find_exn name =
   match find name with
@@ -21,19 +28,19 @@ let find_exn name =
       invalid_arg
         (Printf.sprintf "Registry.find_exn: unknown solver %S (known: %s)" name
            (String.concat ", "
-              (List.map (fun (s : Solver.t) -> s.Solver.name) !solvers)))
+              (List.map (fun (s : Solver.t) -> s.Solver.name) (all ()))))
 
-let names () = List.map (fun (s : Solver.t) -> s.Solver.name) !solvers
+let names () = List.map (fun (s : Solver.t) -> s.Solver.name) (all ())
 
 let filter ?family ?complexity () =
   List.filter
     (fun (s : Solver.t) ->
       (match family with None -> true | Some f -> s.Solver.family = f)
       && match complexity with None -> true | Some c -> s.Solver.complexity = c)
-    !solvers
+    (all ())
 
 let heuristics () =
-  List.filter (fun (s : Solver.t) -> s.Solver.complexity <> Solver.Exponential) !solvers
+  List.filter (fun (s : Solver.t) -> s.Solver.complexity <> Solver.Exponential) (all ())
 
 (* Built-in solvers. *)
 

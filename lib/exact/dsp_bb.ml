@@ -8,7 +8,7 @@ exception Out_of_nodes
    [solve_with_stats] for the node count now read the "bb.nodes"
    counter delta from a solve's report instead.  The local [nodes] ref
    below survives only to enforce the per-call budget. *)
-let c_nodes = Dsp_util.Instr.counter "bb.nodes"
+let c_nodes = Dsp_util.Instr.counter Dsp_util.Instr.Sites.bb_nodes
 
 (* Greedy best-fit by descending height: place each item at the start
    column minimizing the resulting window peak.  Upper bound for the

@@ -7,7 +7,7 @@ exception Out_of_nodes
 (* Shared counter vocabulary (Dsp_util.Instr): x-enumeration and
    y-feasibility nodes both count as classical-strip-packing search
    nodes. *)
-let c_nodes = Dsp_util.Instr.counter "sp_bb.nodes"
+let c_nodes = Dsp_util.Instr.counter Dsp_util.Instr.Sites.sp_bb_nodes
 
 let x_overlap (a : Item.t) sa (b : Item.t) sb =
   sa < sb + b.w && sb < sa + a.w

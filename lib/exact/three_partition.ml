@@ -1,4 +1,4 @@
-let c_nodes = Dsp_util.Instr.counter "three_partition.nodes"
+let c_nodes = Dsp_util.Instr.counter Dsp_util.Instr.Sites.three_partition_nodes
 
 let check ~numbers ~bound =
   let n = Array.length numbers in
@@ -19,6 +19,7 @@ let search ?budget ~numbers ~bound () =
   let nodes = ref 0 in
   (* Always extend the triple of the first unused index: this breaks
      the symmetry between triples. *)
+  (* lint: ok R3 — bounded O(n) scan; [go] checkpoints every node *)
   let rec first_unused i = if i >= n || not used.(i) then i else first_unused (i + 1) in
   let rec go () =
     incr nodes;

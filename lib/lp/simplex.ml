@@ -18,7 +18,7 @@ type tableau = {
 
 (* One bump per tableau pivot (both phases): the unit of simplex work
    the engine's reports aggregate. *)
-let c_pivots = Dsp_util.Instr.counter "simplex.pivots"
+let c_pivots = Dsp_util.Instr.counter Dsp_util.Instr.Sites.simplex_pivots
 
 let pivot t ~row ~col =
   Dsp_util.Instr.bump c_pivots;

@@ -63,19 +63,31 @@ let parse_action s =
     | _ -> Error (Printf.sprintf "bad stall duration in %S" s)
   else Error (Printf.sprintf "unknown fault action %S (raise|stall[MS]|corrupt)" s)
 
+(* Site names in user-facing specs are validated against the
+   canonical [Instr.Sites] table: a typo'd site would otherwise arm a
+   plan that can never fire and read as "the fault was absorbed".
+   [arm] stays open-vocabulary so tests can instrument ad-hoc
+   "test.*" counters. *)
+let parse_site site =
+  if Instr.Sites.mem site then Ok site
+  else
+    Error
+      (Printf.sprintf "unknown instrumentation site %S (known: %s)" site
+         (String.concat ", " Instr.Sites.all))
+
 let parse_spec spec =
   match String.split_on_char ':' spec with
   | ([ site; action ] | [ site; action; _ ]) when site = "" || action = "" ->
       Error (Printf.sprintf "bad fault spec %S (want SITE:ACTION[:AFTER])" spec)
   | [ site; action ] -> (
-      match parse_action action with
-      | Ok action -> Ok { site; action; after = 1 }
-      | Error e -> Error e)
+      match (parse_site site, parse_action action) with
+      | Ok site, Ok action -> Ok { site; action; after = 1 }
+      | Error e, _ | _, Error e -> Error e)
   | [ site; action; after ] -> (
-      match (parse_action action, int_of_string_opt after) with
-      | Ok action, Some after when after >= 1 -> Ok { site; action; after }
-      | Ok _, _ -> Error (Printf.sprintf "bad fault trigger count %S" after)
-      | (Error e, _) -> Error e)
+      match (parse_site site, parse_action action, int_of_string_opt after) with
+      | Ok site, Ok action, Some after when after >= 1 -> Ok { site; action; after }
+      | Ok _, Ok _, _ -> Error (Printf.sprintf "bad fault trigger count %S" after)
+      | (Error e, _, _ | _, Error e, _) -> Error e)
   | _ -> Error (Printf.sprintf "bad fault spec %S (want SITE:ACTION[:AFTER])" spec)
 
 let action_to_string = function

@@ -61,7 +61,10 @@ val parse_spec : string -> (plan, string) result
 (** Parse a CLI fault spec [SITE:ACTION[:AFTER]] where [ACTION] is
     [raise], [corrupt], or [stall[MS]] (default 200 ms) and [AFTER]
     defaults to 1 — e.g. ["bb.nodes:raise:100"],
-    ["segtree.range_add:stall50"], ["budget_fit.best_fit_probes:corrupt"]. *)
+    ["segtree.range_add:stall50"], ["budget_fit.best_fit_probes:corrupt"].
+    [SITE] must be a canonical {!Instr.Sites} name; unknown sites are
+    rejected (a typo would arm a plan that can never fire).  {!arm}
+    itself stays open-vocabulary for test-only counters. *)
 
 val spec_to_string : plan -> string
 (** Inverse of {!parse_spec} (canonical form). *)

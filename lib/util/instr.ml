@@ -13,17 +13,71 @@
    engine does — snapshot before a solve, snapshot after the solve and
    any pool joins — reads at quiescence. *)
 
+(* The canonical counter-site vocabulary.  Every counter the library
+   tree creates must take its name from this table — `dsp_lint` rule
+   R4 enforces both directions (no literal outside the table, no dead
+   table entry), and [Fault.parse_spec] rejects injection specs naming
+   sites that are not listed here.  Tests may still mint ad-hoc
+   "test.*" counters through [counter]; only string literals inside
+   lib/ bin/ bench/ are policed. *)
+module Sites = struct
+  (* Segment-tree kernel entry points (lib/core/segtree.ml). *)
+  let segtree_range_add = "segtree.range_add"
+  let segtree_range_max = "segtree.range_max"
+  let segtree_first_fit = "segtree.first_fit"
+  let segtree_find_last_above = "segtree.find_last_above"
+  let segtree_best_start = "segtree.best_start"
+
+  (* Placement probes of the budgeted fitters (lib/dsp/budget_fit.ml). *)
+  let budget_fit_first_fit_probes = "budget_fit.first_fit_probes"
+  let budget_fit_best_fit_probes = "budget_fit.best_fit_probes"
+
+  (* Search nodes: DSP branch-and-bound, classical strip packing,
+     and the 3-Partition reduction (lib/exact). *)
+  let bb_nodes = "bb.nodes"
+  let sp_bb_nodes = "sp_bb.nodes"
+  let three_partition_nodes = "three_partition.nodes"
+
+  (* Tableau pivots, both simplex phases (lib/lp/simplex.ml). *)
+  let simplex_pivots = "simplex.pivots"
+
+  (* The (5/4+eps) algorithm: binary-search guesses on H' and
+     per-target packing attempts (lib/dsp/approx54.ml). *)
+  let approx54_guesses = "approx54.guesses"
+  let approx54_attempts = "approx54.attempts"
+
+  let all =
+    [
+      segtree_range_add;
+      segtree_range_max;
+      segtree_first_fit;
+      segtree_find_last_above;
+      segtree_best_start;
+      budget_fit_first_fit_probes;
+      budget_fit_best_fit_probes;
+      bb_nodes;
+      sp_bb_nodes;
+      three_partition_nodes;
+      simplex_pivots;
+      approx54_guesses;
+      approx54_attempts;
+    ]
+
+  let mem name = List.mem name all
+end
+
 type counter = { cname : string; key : int }
 
 let mutex = Mutex.create ()
 
 (* Registries are tiny (tens of entries, one array per domain) and
-   touched only at module initialisation and on snapshot/reset. *)
-let by_name : (string, counter) Hashtbl.t = Hashtbl.create 32
-let registered : counter list ref = ref []
-let next_key = ref 0
-let domain_cells : int array ref list ref = ref []
-let phase_seconds : (string, float ref) Hashtbl.t = Hashtbl.create 8
+   every access below locks [mutex], so the bare containers are safe
+   under domain sharing. *)
+let by_name : (string, counter) Hashtbl.t = Hashtbl.create 32 (* lint: local *)
+let registered : counter list ref = ref [] (* lint: local *)
+let next_key = ref 0 (* lint: local *)
+let domain_cells : int array ref list ref = ref [] (* lint: local *)
+let phase_seconds : (string, float ref) Hashtbl.t = Hashtbl.create 8 (* lint: local *)
 
 let counter name =
   Mutex.lock mutex;

@@ -25,6 +25,38 @@
     quiescent points, which is what makes "serial totals = sum of
     per-domain deltas" hold. *)
 
+(** The canonical counter-site vocabulary: one binding per site the
+    library tree may instrument, with the wire name as its value.
+
+    This is the single source of truth rule R4 of [dsp_lint] enforces:
+    a string literal handed to {!counter} from lib/ bin/ bench/ must
+    appear here, and every entry must be referenced somewhere (no dead
+    sites).  {!Fault.parse_spec} also validates injection-spec site
+    names against {!Sites.all}.  Test suites may still create ad-hoc
+    counters (conventionally ["test.*"]); only literals in the audited
+    tree are policed. *)
+module Sites : sig
+  val segtree_range_add : string
+  val segtree_range_max : string
+  val segtree_first_fit : string
+  val segtree_find_last_above : string
+  val segtree_best_start : string
+  val budget_fit_first_fit_probes : string
+  val budget_fit_best_fit_probes : string
+  val bb_nodes : string
+  val sp_bb_nodes : string
+  val three_partition_nodes : string
+  val simplex_pivots : string
+  val approx54_guesses : string
+  val approx54_attempts : string
+
+  val all : string list
+  (** Every canonical site name, in registration order. *)
+
+  val mem : string -> bool
+  (** [mem name] is true iff [name] is a canonical site. *)
+end
+
 type counter
 (** A named monotonic counter.  Counters are process-global: two
     {!counter} calls with the same name share state (each domain

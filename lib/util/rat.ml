@@ -16,7 +16,7 @@ let make n d =
        normalization's gcd walk turns its negative remainders into a
        negative divisor.  Reject the boundary value outright. *)
     if n = min_int || d = min_int then raise Overflow;
-    let n = s * n and d = s * d in
+    let n = mul_check s n and d = mul_check s d in
     let g = gcd (abs n) d in
     if g = 0 then { n = 0; d = 1 } else { n = n / g; d = d / g }
 

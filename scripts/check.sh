@@ -10,6 +10,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dune build
+
+# --- static analysis --------------------------------------------------
+# dsp_lint (tools/lint) checks the project invariants the compiler
+# cannot: overflow discipline, domain-safety of toplevel state, budget
+# checkpoints in search loops, the Instr.Sites vocabulary, and
+# exception swallowing.  Findings fail the build; triage a single rule
+# with `dune exec tools/lint/dsp_lint.exe -- --only R3`.
+dune build @lint
+
 dune runtest
 BENCH_JSON=$(mktemp -t bench-smoke.XXXXXX.json) \
   dune exec bench/main.exe -- kernel-smoke

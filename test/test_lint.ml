@@ -1,0 +1,118 @@
+(* dsp_lint golden suite: every rule against its fixture pair under
+   tools/lint/fixtures, plus the three suppression channels, the
+   --only selector, and the dune-graph scrape behind the R2 scope.
+   Findings are projected to (rule, basename, line) so the assertions
+   pin exact locations without caring about absolute paths. *)
+
+module L = Lint_core
+
+let fixtures = "../tools/lint/fixtures"
+let fx name = Filename.concat fixtures name
+
+(* A fixture-local config: designation by basename, fixture dir as the
+   domain-shared/budgeted scope, the fixture sites table for R4. *)
+let cfg =
+  {
+    L.r1_scope =
+      [ ("r1_bad.ml", L.All); ("r1_good.ml", L.All); ("suppress.ml", L.All) ];
+    r2_dirs = [ "fixtures" ];
+    r3_dirs = [ "fixtures" ];
+    r4_sites_file = Some "r4_sites.ml";
+    r5_allow = [];
+  }
+
+let run ?only paths =
+  let res = L.run ?only cfg paths in
+  Alcotest.(check (list string)) "no parse errors" [] res.L.errors;
+  List.map
+    (fun f -> (L.rule_name f.L.rule, Filename.basename f.L.file, f.L.line))
+    res.L.findings
+
+let check = Alcotest.(check (list (triple string string int)))
+
+let case name f = Alcotest.test_case name `Quick f
+
+let rule_tests =
+  [
+    case "R1 flags raw arithmetic, exempts small literals" (fun () ->
+        check "r1_bad"
+          [ ("R1", "r1_bad.ml", 3); ("R1", "r1_bad.ml", 4) ]
+          (run ~only:[ L.R1 ] [ fx "r1_bad.ml" ]));
+    case "R1 accepts checked helpers and index idioms" (fun () ->
+        check "r1_good" [] (run ~only:[ L.R1 ] [ fx "r1_good.ml" ]));
+    case "R2 flags bare toplevel mutable state" (fun () ->
+        check "r2_bad"
+          [ ("R2", "r2_bad.ml", 2); ("R2", "r2_bad.ml", 3); ("R2", "r2_bad.ml", 4) ]
+          (run ~only:[ L.R2 ] [ fx "r2_bad.ml" ]));
+    case "R2 accepts Atomic/DLS/Mutex/per-call and the local waiver" (fun () ->
+        check "r2_good" [] (run ~only:[ L.R2 ] [ fx "r2_good.ml" ]));
+    case "R3 flags checkpoint-free recursion" (fun () ->
+        check "r3_bad"
+          [ ("R3", "r3_bad.ml", 3) ]
+          (run ~only:[ L.R3 ] [ fx "r3_bad.ml" ]));
+    case "R3 accepts direct and helper-mediated checkpoints" (fun () ->
+        check "r3_good" [] (run ~only:[ L.R3 ] [ fx "r3_good.ml" ]));
+    case "R4 flags off-table literals and dead sites" (fun () ->
+        check "r4_bad"
+          [ ("R4", "r4_bad.ml", 4); ("R4", "r4_sites.ml", 4) ]
+          (run ~only:[ L.R4 ] [ fx "r4_sites.ml"; fx "r4_bad.ml" ]));
+    case "R4 accepts table bindings and canonical literals" (fun () ->
+        check "r4_good" []
+          (run ~only:[ L.R4 ] [ fx "r4_sites.ml"; fx "r4_good.ml" ]));
+    case "R4 reports a missing sites table instead of going silent" (fun () ->
+        check "r4_missing"
+          [ ("R4", "r4_sites.ml", 1) ]
+          (run ~only:[ L.R4 ] [ fx "r4_bad.ml" ]));
+    case "R5 flags try-wildcard and exception-wildcard" (fun () ->
+        check "r5_bad"
+          [ ("R5", "r5_bad.ml", 2); ("R5", "r5_bad.ml", 4) ]
+          (run ~only:[ L.R5 ] [ fx "r5_bad.ml" ]));
+    case "R5 accepts named handlers and rebind-and-reraise" (fun () ->
+        check "r5_good" [] (run ~only:[ L.R5 ] [ fx "r5_good.ml" ]));
+    case "R5 honours the absorber allowlist" (fun () ->
+        let allowed = { cfg with L.r5_allow = [ "r5_bad.ml" ] } in
+        let res = L.run ~only:[ L.R5 ] allowed [ fx "r5_bad.ml" ] in
+        check "allowlisted" [] (List.map (fun f ->
+            (L.rule_name f.L.rule, Filename.basename f.L.file, f.L.line))
+            res.L.findings));
+  ]
+
+let suppression_tests =
+  [
+    case "file attribute and line waivers silence real findings" (fun () ->
+        check "suppress" []
+          (run ~only:[ L.R1; L.R3; L.R5 ] [ fx "suppress.ml" ]));
+    case "--only restricts the rule set over the whole corpus" (fun () ->
+        check "only R5"
+          [ ("R5", "r5_bad.ml", 2); ("R5", "r5_bad.ml", 4) ]
+          (run ~only:[ L.R5 ] [ fixtures ]));
+  ]
+
+let plumbing_tests =
+  [
+    case "findings print as file:line:col [rule] message" (fun () ->
+        Alcotest.(check string)
+          "format" "a.ml:3:7 [R1] m"
+          (L.finding_to_string
+             { L.rule = L.R1; file = "a.ml"; line = 3; col = 7; msg = "m" }));
+    case "rule names round-trip through rule_of_string" (fun () ->
+        List.iter
+          (fun r ->
+            Alcotest.(check bool)
+              (L.rule_name r) true
+              (L.rule_of_string (L.rule_name r) = Some r))
+          L.all_rules;
+        Alcotest.(check bool) "junk rejected" true (L.rule_of_string "R9" = None));
+    case "R2 scope follows the dune graph from the engine roots" (fun () ->
+        (* The test binary runs in _build/default/test; the parent holds
+           the copied dune files of every library. *)
+        let dirs = (L.project_config ~root:"..").L.r2_dirs in
+        List.iter
+          (fun d ->
+            Alcotest.(check bool) (d ^ " reachable") true (List.mem d dirs))
+          [ "lib/util"; "lib/core"; "lib/exact"; "lib/engine" ];
+        Alcotest.(check bool) "augment is outside the engine cone" false
+          (List.mem "lib/augment" dirs));
+  ]
+
+let suite = rule_tests @ suppression_tests @ plumbing_tests

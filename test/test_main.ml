@@ -25,4 +25,5 @@ let () =
       ("runner", Test_runner.suite);
       ("parallel", Test_parallel.suite);
       ("bench", Test_bench.suite);
+      ("lint", Test_lint.suite);
     ]

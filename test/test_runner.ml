@@ -160,15 +160,30 @@ let fault_tests =
             | Ok plan ->
                 Alcotest.(check string) spec spec (Fault.spec_to_string plan)
             | Error e -> Alcotest.failf "%s: %s" spec e)
-          [ "bb.nodes:raise:1"; "x.y:corrupt:3"; "a.b:stall250:2" ];
+          [
+            "bb.nodes:raise:1";
+            "segtree.range_add:corrupt:3";
+            "simplex.pivots:stall250:2";
+          ];
         (match Fault.parse_spec "bb.nodes:raise" with
         | Ok plan -> Alcotest.(check int) "default after" 1 plan.Fault.after
         | Error e -> Alcotest.fail e);
+        (* Sites outside the canonical Instr.Sites table are rejected:
+           a typo'd site would arm a plan that can never fire. *)
         List.iter
           (fun spec ->
             Alcotest.(check bool) spec true
               (Result.is_error (Fault.parse_spec spec)))
-          [ ""; "no-action"; "s:explode"; "s:raise:0"; "s:raise:x"; ":raise" ]);
+          [
+            "";
+            "no-action";
+            "bb.nodes:explode";
+            "bb.nodes:raise:0";
+            "bb.nodes:raise:x";
+            ":raise";
+            "bb.typo:raise";
+            "x.y:corrupt:3";
+          ]);
     Alcotest.test_case "fault fires on the n-th hit, once" `Quick (fun () ->
         let c = Dsp_util.Instr.counter "test.fault_site" in
         with_fault

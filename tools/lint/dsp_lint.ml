@@ -1,0 +1,84 @@
+(* dsp_lint: command-line driver for the project invariant checker.
+
+   Usage: dsp_lint [--list-rules] [--only R1[,R3...]] [--root DIR] [PATH...]
+
+   Paths default to lib bin bench under the root.  Exit status: 0 when
+   clean, 1 when findings were reported, 2 on usage/parse errors. *)
+
+let usage () =
+  prerr_endline
+    "usage: dsp_lint [--list-rules] [--only R1[,R3...]] [--root DIR] [PATH...]";
+  prerr_endline "  --list-rules   describe the rules and exit";
+  prerr_endline "  --only RULES   run only the given comma-separated rules";
+  prerr_endline "  --root DIR     project root (default .); sets rule scopes";
+  prerr_endline "  PATH...        files or directories to scan (default: lib bin bench)";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun r ->
+      Printf.printf "%s  %s\n" (Lint_core.rule_name r) (Lint_core.rule_summary r))
+    Lint_core.all_rules;
+  print_endline "";
+  print_endline "suppressions:";
+  print_endline "  (* lint: ok R<k> *)     waives R<k> on this line and the next";
+  print_endline "  (* lint: local *)       the R2 form, for deliberately local state";
+  print_endline "  [@@@lint.ignore \"R<k>\"]  waives R<k> for the whole file";
+  exit 0
+
+let parse_only spec =
+  let rules =
+    String.split_on_char ',' spec |> List.filter_map Lint_core.rule_of_string
+  in
+  let expected = List.length (String.split_on_char ',' spec) in
+  if rules = [] || List.length rules <> expected then begin
+    Printf.eprintf "dsp_lint: bad --only spec %S (rules are R1..R5)\n" spec;
+    exit 2
+  end;
+  rules
+
+let () =
+  let root = ref "." and only = ref None and paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--list-rules" :: _ -> list_rules ()
+    | "--only" :: spec :: rest ->
+        only := Some (parse_only spec);
+        parse rest
+    | "--root" :: dir :: rest ->
+        root := dir;
+        parse rest
+    | ("--help" | "-h" | "--only" | "--root") :: _ -> usage ()
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paths =
+    match List.rev !paths with
+    | [] ->
+        [ "lib"; "bin"; "bench" ]
+        |> List.map (Filename.concat !root)
+        |> List.filter Sys.file_exists
+    | ps -> ps
+  in
+  let cfg = Lint_core.project_config ~root:!root in
+  let result = Lint_core.run ?only:!only cfg paths in
+  List.iter prerr_endline result.Lint_core.errors;
+  List.iter
+    (fun f -> print_endline (Lint_core.finding_to_string f))
+    result.Lint_core.findings;
+  let n = List.length result.Lint_core.findings in
+  if result.Lint_core.errors <> [] then exit 2
+  else if n > 0 then begin
+    Printf.eprintf "dsp_lint: %d finding%s in %d files\n" n
+      (if n = 1 then "" else "s")
+      result.Lint_core.files;
+    exit 1
+  end
+  else
+    Printf.eprintf "dsp_lint: clean (%d files, rules %s)\n"
+      result.Lint_core.files
+      (String.concat ","
+         (List.map Lint_core.rule_name
+            (match !only with None -> Lint_core.all_rules | Some rs -> rs)))

@@ -1,0 +1,5 @@
+(* R1 fixture: raw int arithmetic on an overflow-sensitive path.
+   Parsed by dsp_lint only, never compiled. *)
+let scale s n = s * n
+let total a b = a + b
+let step i = i + 1

@@ -1,0 +1,6 @@
+(* R1 fixture: arithmetic routed through the checked helpers, plus the
+   exempt small-literal index idiom. *)
+let scale s n = Xutil.checked_mul s n
+let total a b = Xutil.checked_add a b
+let step i = i + 1
+let twice v = 2 * v

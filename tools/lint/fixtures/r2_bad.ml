@@ -1,0 +1,4 @@
+(* R2 fixture: bare toplevel mutable state in a domain-shared library. *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+let hits = ref 0
+let scratch = Array.make 8 0

@@ -1,0 +1,7 @@
+(* R2 fixture: domain-safe toplevel state — atomic, DLS, constructed
+   per call, or explicitly waived as local. *)
+let hits = Atomic.make 0
+let slot = Domain.DLS.new_key (fun () -> 0)
+let fresh_table () = Hashtbl.create 16
+let cache = Hashtbl.create 16 (* lint: local *)
+let lock = Mutex.create ()

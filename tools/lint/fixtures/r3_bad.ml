@@ -1,0 +1,3 @@
+(* R3 fixture: a recursive loop with no Budget checkpoint anywhere in
+   its call closure. *)
+let rec spin n = if n = 0 then 0 else spin (n - 1)

@@ -1,0 +1,11 @@
+(* R3 fixture: budgeted recursion, both with a direct checkpoint and
+   through a checkpointing helper. *)
+let rec walk budget n =
+  Budget.check budget;
+  if n = 0 then 0 else walk budget (n - 1)
+
+let helper budget = Dsp_util.Budget.poll budget
+
+let rec indirect budget n =
+  helper budget;
+  if n = 0 then 0 else indirect budget (n - 1)

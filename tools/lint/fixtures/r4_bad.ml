@@ -1,0 +1,4 @@
+(* R4 fixture: one counter minted outside the table, and (because
+   nothing here touches beta) one dead site back in r4_sites.ml. *)
+let a = Instr.counter Sites.alpha
+let b = Instr.counter "alpha.typo"

@@ -1,0 +1,4 @@
+(* R4 fixture: every counter comes from the table — by binding, or by
+   a literal that matches a canonical wire name. *)
+let a = Instr.counter Sites.alpha
+let b = Instr.counter "beta.hits"

@@ -1,0 +1,6 @@
+(* R4 fixture: a canonical sites table in the Instr.Sites shape. *)
+module Sites = struct
+  let alpha = "alpha.hits"
+  let beta = "beta.hits"
+  let all = [ alpha; beta ]
+end

@@ -1,0 +1,4 @@
+(* R5 fixture: wildcard handlers that swallow every exception. *)
+let f g x = try g x with _ -> 0
+
+let h g x = match g x with v -> v | exception _ -> 0

@@ -1,0 +1,4 @@
+(* R5 fixture: handlers that name what they catch, or rebind and
+   re-raise. *)
+let f g x = try g x with Not_found -> 0
+let h g x = try g x with e -> raise e

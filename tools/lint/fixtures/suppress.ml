@@ -1,0 +1,12 @@
+[@@@lint.ignore "R1"]
+
+(* Suppression fixture: the file-level attribute kills R1, the line
+   waivers kill R3 and R5.  A clean run proves every suppression
+   channel works. *)
+
+let scale s n = s * n
+
+let rec spin n = if n = 0 then 0 else spin (n - 1) (* lint: ok R3 *)
+
+(* lint: ok R5 *)
+let f g x = try g x with _ -> 0
