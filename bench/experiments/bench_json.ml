@@ -1,4 +1,4 @@
-(* Machine-readable benchmark output (schema dsp-bench/3).
+(* Machine-readable benchmark output (schema dsp-bench/4).
 
    Experiments register metrics (wall-clock seconds, peak heights,
    node counts, speedups) under their experiment id while they run;
@@ -15,15 +15,28 @@
    attributable file instead of nothing.  Writes are atomic (temp file
    in the target directory + rename): a harness killed mid-write never
    leaves a truncated BENCH.json, and the checkpoint written after
-   every experiment makes the last completed state durable. *)
+   every experiment makes the last completed state durable.
 
-type value = Int of int | Float of float | String of string | Bool of bool
+   Schema v4 adds one-level metric groups: a metric value may be a
+   flat object of scalars ({"minor_words": ..., ...}), used for the
+   per-measurement [gc] sub-records of the kernel and counters
+   experiments.  Groups never nest; the loader rejects deeper
+   structure so downstream tooling can keep treating leaves as
+   scalars. *)
 
-let schema_version = "dsp-bench/3"
+type value =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Group of (string * value) list
+      (* one level deep: fields must be scalars (enforced on record) *)
+
+let schema_version = "dsp-bench/4"
 
 (* Schema versions [load] accepts: the container shape is identical,
-   v3 only adds optional keys. *)
-let known_schemas = [ "dsp-bench/2"; schema_version ]
+   v3 only adds optional keys, v4 adds one-level metric groups. *)
+let known_schemas = [ "dsp-bench/2"; "dsp-bench/3"; schema_version ]
 
 (* Insertion-ordered: experiment ids in run order, metrics in record
    order within an experiment.  The store is shared mutable state and
@@ -48,6 +61,21 @@ let record ~experiment key value =
       in
       row := !row @ [ (key, value) ])
 
+(* A one-level metric group.  Nesting is a schema violation, so it is
+   refused at record time rather than surfacing as an unreadable
+   BENCH.json later. *)
+let record_group ~experiment key fields =
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Group _ ->
+          invalid_arg
+            (Printf.sprintf "Bench_json.record_group: nested group %S in %S" k
+               key)
+      | _ -> ())
+    fields;
+  record ~experiment key (Group fields)
+
 let record_counters ~experiment ~solver counters =
   List.iter
     (fun (name, v) -> record ~experiment (solver ^ "." ^ name) (Int v))
@@ -68,12 +96,19 @@ let escape s =
     s;
   Buffer.contents buf
 
-let value_to_string = function
+let rec value_to_string = function
   | Int i -> string_of_int i
   | Float f ->
       if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
   | String s -> Printf.sprintf "\"%s\"" (escape s)
   | Bool b -> if b then "true" else "false"
+  | Group fields ->
+      Printf.sprintf "{%s}"
+        (String.concat ", "
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\": %s" (escape k) (value_to_string v))
+              fields))
 
 let render () =
   (* Snapshot under the lock, serialize outside it. *)
@@ -297,21 +332,41 @@ let of_json = function
               | Jobj fields -> (
                   match List.assoc_opt "id" fields with
                   | Some (Jstring id) ->
+                      let scalar k v =
+                        match v with
+                        | Jnum f when Float.is_integer f && Float.abs f < 1e15
+                          ->
+                            Ok (Int (int_of_float f))
+                        | Jnum f -> Ok (Float f)
+                        | Jstring s -> Ok (String s)
+                        | Jbool b -> Ok (Bool b)
+                        | Jnull -> Ok (Float Float.nan)
+                        | Jlist _ | Jobj _ ->
+                            Error
+                              (Printf.sprintf
+                                 "experiment %S: metric %S is not a scalar" id
+                                 k)
+                      in
                       let metric (k, v) =
                         if k = "id" then Ok None
                         else
                           match v with
-                          | Jnum f when Float.is_integer f && Float.abs f < 1e15 ->
-                              Ok (Some (k, Int (int_of_float f)))
-                          | Jnum f -> Ok (Some (k, Float f))
-                          | Jstring s -> Ok (Some (k, String s))
-                          | Jbool b -> Ok (Some (k, Bool b))
-                          | Jnull -> Ok (Some (k, Float Float.nan))
-                          | Jlist _ | Jobj _ ->
-                              Error
-                                (Printf.sprintf
-                                   "experiment %S: metric %S is not a scalar" id
-                                   k)
+                          | Jobj fields when schema = schema_version ->
+                              (* v4 group: exactly one level of scalars. *)
+                              let rec go acc = function
+                                | [] -> Ok (Some (k, Group (List.rev acc)))
+                                | (gk, gv) :: rest -> (
+                                    match
+                                      scalar (k ^ "." ^ gk) gv
+                                    with
+                                    | Ok s -> go ((gk, s) :: acc) rest
+                                    | Error e -> Error e)
+                              in
+                              go [] fields
+                          | _ -> (
+                              match scalar k v with
+                              | Ok s -> Ok (Some (k, s))
+                              | Error e -> Error e)
                       in
                       let rec metrics acc = function
                         | [] -> Ok (id, List.rev acc)

@@ -53,20 +53,27 @@ let counters () =
     (fun (s : Solver.t) ->
       let totals = Hashtbl.create 16 in
       let solved = ref 0 in
-      List.iter
-        (fun (_, inst) ->
-          match Solver.run ~node_budget:2_000_000 s inst with
-          | Ok r ->
-              incr solved;
-              List.iter
-                (fun (name, v) ->
-                  let prev =
-                    Option.value (Hashtbl.find_opt totals name) ~default:0
-                  in
-                  Hashtbl.replace totals name (prev + v))
-                r.Report.counters
-          | Error _ -> ())
-        set;
+      (* GC cost of the whole per-solver sweep, emitted as a
+         dsp-bench/4 sub-record next to the op counters: kernel ops
+         per solve and words allocated per solve trend together. *)
+      let (), _, gc =
+        Dsp_util.Xutil.timeit_gc (fun () ->
+            List.iter
+              (fun (_, inst) ->
+                match Solver.run ~node_budget:2_000_000 s inst with
+                | Ok r ->
+                    incr solved;
+                    List.iter
+                      (fun (name, v) ->
+                        let prev =
+                          Option.value (Hashtbl.find_opt totals name) ~default:0
+                        in
+                        Hashtbl.replace totals name (prev + v))
+                      r.Report.counters
+                | Error _ -> ())
+              set)
+      in
+      Common.record_gc ~experiment:"counters" (s.Solver.name ^ ".gc") gc;
       let merged =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
         |> List.sort compare

@@ -1,0 +1,113 @@
+(* Perf-regression gate: compare a candidate BENCH.json against the
+   checked-in baseline for one experiment (default kernel-smoke) and
+   fail on regressions.  Driven by scripts/perf_gate.sh in check.sh
+   and CI.
+
+   Checks, in order:
+   - both files parse and validate under the Bench_json loader;
+   - the experiment ran to "ok" status in the candidate;
+   - every "*_seconds" metric present in both files: the candidate may
+     not exceed baseline * (1 + TOLERANCE) once past an absolute floor
+     (small timings are pure noise — an 0.002s -> 0.004s move is not a
+     2x regression worth failing CI over);
+   - "flat_alloc_zero" = 1 and "flat_alloc_words_per_op" below the
+     zero-allocation threshold: the kernel's steady-state allocation
+     invariant is exact, so it gates with no tolerance;
+   - every "*agree" correctness cross-check = 1 in the candidate.
+
+   Exit 0 clean, 1 on regression, 2 on usage or unreadable input. *)
+
+open Dsp_bench
+
+let tolerance = 0.30 (* +30% wall-clock *)
+let abs_floor = 0.05 (* seconds; below this, deltas are noise *)
+let alloc_threshold = 0.01 (* words per kernel op *)
+
+let usage () =
+  prerr_endline "usage: gate <baseline.json> <candidate.json> [experiment-id]";
+  exit 2
+
+let load path =
+  match Bench_json.load path with
+  | Ok p -> p
+  | Error msg ->
+      Printf.eprintf "gate: %s\n" msg;
+      exit 2
+
+let metrics_of (p : Bench_json.parsed) experiment path =
+  match List.assoc_opt experiment p.Bench_json.parsed_experiments with
+  | Some m -> m
+  | None ->
+      Printf.eprintf "gate: %s: no experiment %S\n" path experiment;
+      exit 2
+
+let as_float = function
+  | Bench_json.Float f -> Some f
+  | Bench_json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let has_suffix sfx s =
+  let n = String.length s and m = String.length sfx in
+  n >= m && String.sub s (n - m) m = sfx
+
+let () =
+  let baseline_path, candidate_path, experiment =
+    match Array.to_list Sys.argv |> List.tl with
+    | [ b; c ] -> (b, c, "kernel-smoke")
+    | [ b; c; e ] -> (b, c, e)
+    | _ -> usage ()
+  in
+  let base = metrics_of (load baseline_path) experiment baseline_path in
+  let cand = metrics_of (load candidate_path) experiment candidate_path in
+  let failures = ref 0 in
+  let fail fmt =
+    incr failures;
+    Printf.printf fmt
+  in
+  (* A crashed candidate experiment is an automatic gate failure. *)
+  (match List.assoc_opt "status" cand with
+  | Some (Bench_json.String "ok") -> ()
+  | Some (Bench_json.String s) ->
+      fail "FAIL %s: status %S (expected \"ok\")\n" experiment s
+  | _ -> fail "FAIL %s: no status metric in candidate\n" experiment);
+  (* Wall-clock: every timing both files carry. *)
+  List.iter
+    (fun (k, bv) ->
+      if has_suffix "_seconds" k then
+        match (as_float bv, Option.bind (List.assoc_opt k cand) as_float) with
+        | Some b, Some c ->
+            let limit = b *. (1. +. tolerance) in
+            if c > limit && c -. b > abs_floor then
+              fail "FAIL %-28s %.4fs vs baseline %.4fs (> +%.0f%% and > %.2fs)\n"
+                k c b (100. *. tolerance) abs_floor
+            else
+              Printf.printf "ok   %-28s %.4fs (baseline %.4fs)\n" k c b
+        | Some _, None -> fail "FAIL %-28s missing from candidate\n" k
+        | None, _ -> ())
+    base;
+  (* Allocation invariant: exact, no tolerance. *)
+  (match Option.bind (List.assoc_opt "flat_alloc_words_per_op" cand) as_float with
+  | Some w when w < alloc_threshold ->
+      Printf.printf "ok   %-28s %.6f words/op\n" "flat_alloc_words_per_op" w
+  | Some w ->
+      fail "FAIL %-28s %.6f words/op (steady-state allocation must be ~0)\n"
+        "flat_alloc_words_per_op" w
+  | None -> fail "FAIL flat_alloc_words_per_op missing from candidate\n");
+  (match List.assoc_opt "flat_alloc_zero" cand with
+  | Some (Bench_json.Int 1) -> ()
+  | _ -> fail "FAIL flat_alloc_zero is not 1 in candidate\n");
+  (* Correctness cross-checks recorded by the experiment itself. *)
+  List.iter
+    (fun (k, v) ->
+      if has_suffix "agree" k then
+        match v with
+        | Bench_json.Int 1 -> ()
+        | _ -> fail "FAIL %-28s not 1 (implementations disagree)\n" k)
+    cand;
+  if !failures > 0 then begin
+    Printf.printf "gate: %d failure%s against %s\n" !failures
+      (if !failures = 1 then "" else "s")
+      baseline_path;
+    exit 1
+  end
+  else Printf.printf "gate: clean against %s\n" baseline_path

@@ -24,16 +24,26 @@
    serial harness always has.
 
    Every run also writes BENCH.json (override the path with the
-   BENCH_JSON environment variable) under schema dsp-bench/3:
+   BENCH_JSON environment variable) under schema dsp-bench/4:
    per-experiment wall-clock and status, the metrics individual
    experiments record (kernel speedups and peaks, E4 node counts,
-   fault-matrix outcomes, the "parallel" experiment's speedups), and
-   the per-solver instrumentation counters of the "counters"
-   experiment.  Crash safety: an experiment that raises is recorded as
-   a degraded entry (status "crashed" plus the error) instead of
+   fault-matrix outcomes, the "parallel" experiment's speedups), the
+   per-solver instrumentation counters of the "counters" experiment,
+   and the one-level "gc" sub-records of the kernel and counters
+   experiments.  Crash safety: an experiment that raises is recorded
+   as a degraded entry (status "crashed" plus the error) instead of
    aborting the run, and the file is checkpointed atomically after
    every experiment, so a killed harness leaves the last completed
-   state on disk, never a truncated file. *)
+   state on disk, never a truncated file.
+
+   Trending: each completed run is also archived under bench/results/
+   as BENCH-<YYYYMMDD-HHMMSS>.json next to a refreshed latest.json
+   pointer (both written atomically).  DSP_BENCH_RESULTS overrides the
+   directory, DSP_BENCH_RESULTS=none disables archiving (the perf gate
+   uses this to keep probe runs out of the trend line), and
+   DSP_BENCH_REPS=k makes each timing the best of k repetitions.  The
+   checked-in bench/results/baseline-kernel-smoke.json is the
+   reference scripts/perf_gate.sh compares against in CI. *)
 
 open Dsp_bench
 
@@ -56,6 +66,49 @@ let serial_only =
 
 let bench_path () =
   Option.value (Sys.getenv_opt "BENCH_JSON") ~default:"BENCH.json"
+
+(* ----- trending archive (bench/results/) ------------------------------ *)
+
+let results_dir () =
+  match Sys.getenv_opt "DSP_BENCH_RESULTS" with
+  | Some "none" -> None
+  | Some dir -> Some dir
+  | None -> Some (Filename.concat "bench" "results")
+
+let rec mkdirs dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let timestamp () =
+  let t = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+(* Archive the run: a timestamped snapshot plus the latest.json
+   pointer, both via Bench_json.write so each lands atomically (a
+   killed run leaves the previous latest.json intact, never a torn
+   one). *)
+let write_trend () =
+  match results_dir () with
+  | None -> ()
+  | Some dir -> (
+      match mkdirs dir with
+      | () when Sys.is_directory dir ->
+          let snap =
+            Filename.concat dir ("BENCH-" ^ timestamp () ^ ".json")
+          in
+          Bench_json.write snap;
+          Bench_json.write (Filename.concat dir "latest.json");
+          Printf.printf "archived %s (and %s)\n" snap
+            (Filename.concat dir "latest.json")
+      | () -> Printf.eprintf "bench: cannot archive into %s\n" dir
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "bench: cannot archive into %s: %s\n" dir
+            (Unix.error_message e))
 
 let run_experiment (name, f) =
   let checkpoint () = Bench_json.write (bench_path ()) in
@@ -130,5 +183,6 @@ let () =
   if ran then begin
     let path = bench_path () in
     Bench_json.write path;
-    Printf.printf "\nwrote %s\n" path
+    Printf.printf "\nwrote %s\n" path;
+    write_trend ()
   end

@@ -9,7 +9,16 @@
     skips past the column that caused a violation instead of advancing
     one start at a time.  The kernel micro-experiment
     ([bench/main.exe -- kernel]) measures both structures side by
-    side and writes the result to [BENCH.json]. *)
+    side and writes the result to [BENCH.json].
+
+    The default implementation is a flat, implicit-layout kernel over
+    a single native-[int] [Bigarray]: iterative traversals with
+    preallocated scratch, so the steady-state operations ({!range_add},
+    {!range_max}, {!find_last_above_i}, {!first_fit_from_i}) allocate
+    nothing.  The original recursive array-of-[int] kernel is kept as
+    {!Boxed} for differential testing and as the ablation baseline of
+    the kernel experiment; both expose the same operations and bump
+    the same [segtree.*] instrumentation counters. *)
 
 type t
 
@@ -41,12 +50,20 @@ val find_last_above : t -> lo:int -> hi:int -> int -> int option
     if the whole window is at most [threshold].  O(log n) tree
     descent. *)
 
+val find_last_above_i : t -> lo:int -> hi:int -> int -> int
+(** {!find_last_above} with a [-1] sentinel instead of [None] — the
+    allocation-free form for hot loops (an option result boxes). *)
+
 val first_fit_from : t -> from:int -> len:int -> height:int -> limit:int -> int option
 (** [first_fit_from t ~from ~len ~height ~limit] is the smallest start
     [s >= from] such that [range_max t s (s+len) + height <= limit],
     or [None].  Skip-ahead descent: a failed window jumps directly
     past its last violating column, so a whole scan is
     O((violations + 1) log n) amortized rather than O(n * len). *)
+
+val first_fit_from_i : t -> from:int -> len:int -> height:int -> limit:int -> int
+(** {!first_fit_from} with a [-1] sentinel instead of [None] — the
+    allocation-free form for hot loops (an option result boxes). *)
 
 val first_fit_pos : t -> len:int -> height:int -> limit:int -> int option
 (** [first_fit_from] with [from = 0]. *)
@@ -60,3 +77,25 @@ val best_start : t -> len:int -> (int * int) option
     minimizing the window peak [range_max t s (s+len)] and [peak] that
     minimum; [None] when no window of length [len] fits.  O(n) via a
     sliding-window maximum over a flattened snapshot. *)
+
+(** The original recursive kernel over boxed OCaml arrays, kept as the
+    differential-testing reference for the flat kernel and as the
+    ablation baseline of the [kernel] bench experiment.  Same
+    semantics, same counters, same overflow guards. *)
+module Boxed : sig
+  type t
+
+  val create : int -> t
+  val size : t -> int
+  val copy : t -> t
+  val range_add : t -> lo:int -> hi:int -> int -> unit
+  val range_max : t -> lo:int -> hi:int -> int
+  val max_all : t -> int
+  val get : t -> int -> int
+  val of_array : int array -> t
+  val to_array : t -> int array
+  val find_last_above : t -> lo:int -> hi:int -> int -> int option
+  val first_fit_from : t -> from:int -> len:int -> height:int -> limit:int -> int option
+  val first_fit_pos : t -> len:int -> height:int -> limit:int -> int option
+  val best_start : t -> len:int -> (int * int) option
+end

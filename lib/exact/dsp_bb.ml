@@ -91,19 +91,19 @@ let decide_internal ~nodes ~node_limit ~budget (inst : Instance.t) ~height =
              unchanged — only the infeasible gaps between candidates
              are skipped in O(log W). *)
           let rec try_start s =
-            match
-              Segtree.first_fit_from loads ~from:s ~len:it.w ~height:it.h
+            let s' =
+              Segtree.first_fit_from_i loads ~from:s ~len:it.w ~height:it.h
                 ~limit:height
-            with
-            | None -> false
-            | Some s' when s' > max_start -> false
-            | Some s' ->
-                place it s';
-                if go (k + 1) then true
-                else begin
-                  unplace it s';
-                  try_start (s' + 1)
-                end
+            in
+            if s' < 0 || s' > max_start then false
+            else begin
+              place it s';
+              if go (k + 1) then true
+              else begin
+                unplace it s';
+                try_start (s' + 1)
+              end
+            end
           in
           try_start (max 0 min_start)
         end
@@ -264,17 +264,17 @@ let solve_par ?(node_limit = default_node_limit) ?budget ?jobs ?pool
               in
               let rec try_start s =
                 let limit = Atomic.get incumbent - 1 in
-                match
-                  Segtree.first_fit_from loads ~from:s ~len:it.w ~height:it.h
+                let s' =
+                  Segtree.first_fit_from_i loads ~from:s ~len:it.w ~height:it.h
                     ~limit
-                with
-                | None -> ()
-                | Some s' when s' > width - it.w -> ()
-                | Some s' ->
-                    place it s';
-                    go (k + 1);
-                    unplace it s';
-                    try_start (s' + 1)
+                in
+                if s' < 0 || s' > width - it.w then ()
+                else begin
+                  place it s';
+                  go (k + 1);
+                  unplace it s';
+                  try_start (s' + 1)
+                end
               in
               try_start (max 0 min_start)
             end

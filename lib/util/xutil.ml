@@ -13,6 +13,15 @@ let checked_mul a b =
     let p = a * b in
     if p / b <> a then raise Overflow else p
 
+(* Saturating subtraction: thresholds like [limit - height] (limit may
+   be max_int) must not wrap; clamping to the representable range keeps
+   every downstream comparison conservative. *)
+let sat_sub a b =
+  let d = a - b in
+  if a >= 0 && b < 0 && d < 0 then max_int
+  else if a < 0 && b >= 0 && d >= 0 then min_int
+  else d
+
 let sum_by f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
 let max_by f xs = List.fold_left (fun acc x -> max acc (f x)) 0 xs
 
@@ -66,6 +75,28 @@ let timeit f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+type gc_stats = {
+  minor_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let timeit_gc f =
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  ( r,
+    dt,
+    {
+      minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+      promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+      minor_collections = s1.Gc.minor_collections - s0.Gc.minor_collections;
+      major_collections = s1.Gc.major_collections - s0.Gc.major_collections;
+    } )
 
 let pp_int_list fmt xs =
   Format.fprintf fmt "[%a]"

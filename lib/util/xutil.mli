@@ -44,3 +44,24 @@ val timeit : (unit -> 'a) -> 'a * float
     seconds. *)
 
 val pp_int_list : Format.formatter -> int list -> unit
+
+val sat_sub : int -> int -> int
+(** Saturating native-int subtraction: clamps to [max_int]/[min_int]
+    instead of wrapping.  Used for comparison thresholds (e.g.
+    [limit - height] with [limit = max_int]) where a conservative
+    clamp is correct and an exception would be wrong. *)
+
+type gc_stats = {
+  minor_words : float;  (** words allocated on the minor heap *)
+  promoted_words : float;  (** words promoted to the major heap *)
+  minor_collections : int;
+  major_collections : int;
+}
+(** GC activity attributable to one timed region (deltas of
+    [Gc.quick_stat] counters). *)
+
+val timeit_gc : (unit -> 'a) -> 'a * float * gc_stats
+(** Like {!timeit}, additionally reporting the GC counter deltas across
+    the run.  The sampling itself allocates a handful of words (the
+    [Gc.quick_stat] records); amortize over enough work when asserting
+    zero-allocation properties. *)

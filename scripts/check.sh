@@ -20,8 +20,13 @@ dune build
 dune build @lint
 
 dune runtest
-BENCH_JSON=$(mktemp -t bench-smoke.XXXXXX.json) \
-  dune exec bench/main.exe -- kernel-smoke
+
+# --- kernel perf gate -------------------------------------------------
+# Runs the kernel-smoke ablation and fails on wall-clock or
+# steady-state-allocation regressions against the checked-in
+# bench/results/baseline-kernel-smoke.json (see scripts/perf_gate.sh
+# for thresholds and how to refresh the baseline).
+./scripts/perf_gate.sh
 
 # --- fault-injection smoke -------------------------------------------
 # The CI-sized fault matrix: one injected raise/stall/corrupt per

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI perf-regression gate for the packing kernel.
+#
+# Runs the kernel-smoke experiment (best-of-DSP_BENCH_REPS timings,
+# trend archiving disabled so gate probes never pollute
+# bench/results/) and compares the fresh BENCH.json against the
+# checked-in baseline with bench/gate.exe, which fails on:
+#   - any "*_seconds" metric more than 30% AND 0.05s over baseline,
+#   - nonzero steady-state kernel allocation (flat_alloc_zero != 1),
+#   - any "*agree" cross-kernel correctness check != 1.
+#
+# Refresh the baseline after an intentional perf change with:
+#   DSP_BENCH_REPS=5 DSP_BENCH_RESULTS=none \
+#     BENCH_JSON=bench/results/baseline-kernel-smoke.json \
+#     dune exec bench/main.exe -- kernel-smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=bench/results/baseline-kernel-smoke.json
+if [ ! -f "$baseline" ]; then
+  echo "perf_gate: missing $baseline (see header for how to record one)" >&2
+  exit 2
+fi
+
+candidate=$(mktemp -t bench-gate.XXXXXX.json)
+trap 'rm -f "$candidate"' EXIT
+
+DSP_BENCH_REPS="${DSP_BENCH_REPS:-3}" DSP_BENCH_RESULTS=none \
+  BENCH_JSON="$candidate" \
+  timeout 300 dune exec bench/main.exe -- kernel-smoke
+
+dune exec bench/gate.exe -- "$baseline" "$candidate"

@@ -42,6 +42,37 @@ let roundtrip_tests =
                       (List.assoc "nodes" e2 = Bj.Int 42);
                     Alcotest.(check bool) "escaped string metric" true
                       (List.assoc "error" e2 = Bj.String "boom \"quoted\""))));
+    Alcotest.test_case "gc groups round-trip through write/load" `Quick
+      (fun () ->
+        with_clean (fun () ->
+            in_temp_dir (fun dir ->
+                Bj.record ~experiment:"kernel" "status" (Bj.String "ok");
+                Bj.record_group ~experiment:"kernel" "storm_flat_gc"
+                  [
+                    ("minor_words", Bj.Float 0.25);
+                    ("minor_collections", Bj.Int 0);
+                  ];
+                let path = Filename.concat dir "BENCH.json" in
+                Bj.write path;
+                match Bj.load path with
+                | Error e -> Alcotest.fail e
+                | Ok p ->
+                    let k = List.assoc "kernel" p.Bj.parsed_experiments in
+                    Alcotest.(check bool) "group metric" true
+                      (List.assoc "storm_flat_gc" k
+                      = Bj.Group
+                          [
+                            ("minor_words", Bj.Float 0.25);
+                            ("minor_collections", Bj.Int 0);
+                          ]))));
+    Alcotest.test_case "record_group rejects nested groups" `Quick (fun () ->
+        with_clean (fun () ->
+            Alcotest.check_raises "nested group"
+              (Invalid_argument
+                 "Bench_json.record_group: nested group \"inner\" in \"outer\"")
+              (fun () ->
+                Bj.record_group ~experiment:"kernel" "outer"
+                  [ ("inner", Bj.Group []) ])));
     Alcotest.test_case "write is atomic: no temp debris, old file survives a \
                         crashing render"
       `Quick (fun () ->
@@ -93,6 +124,28 @@ let validation_tests =
     check_error "non-scalar metric"
       {|{"schema": "dsp-bench/3", "experiments": [{"id": "E1", "m": [1]}]}|}
       "not a scalar";
+    check_error "object metric under the pre-group schema"
+      {|{"schema": "dsp-bench/3", "experiments": [{"id": "E1", "gc": {"minor_words": 0.0}}]}|}
+      "not a scalar";
+    check_error "nested group"
+      {|{"schema": "dsp-bench/4", "experiments": [{"id": "E1", "gc": {"inner": {"x": 1}}}]}|}
+      "not a scalar";
+    Alcotest.test_case "one-level group loads under dsp-bench/4" `Quick
+      (fun () ->
+        match
+          Bj.parse_string_result
+            {|{"schema": "dsp-bench/4", "experiments": [{"id": "E1", "gc": {"minor_words": 0.5, "minor_collections": 3}}]}|}
+        with
+        | Ok p ->
+            let e1 = List.assoc "E1" p.Bj.parsed_experiments in
+            Alcotest.(check bool) "group parsed" true
+              (List.assoc "gc" e1
+              = Bj.Group
+                  [
+                    ("minor_words", Bj.Float 0.5);
+                    ("minor_collections", Bj.Int 3);
+                  ])
+        | Error e -> Alcotest.fail e);
     check_error "truncated document"
       {|{"schema": "dsp-bench/3", "experiments": [|} "line 1";
     check_error "trailing garbage"

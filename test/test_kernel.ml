@@ -131,10 +131,165 @@ let query_arb =
       let* limit = int_range 0 30 in
       return ((width, ops), (from, len, height, limit)))
 
+(* ---- flat kernel vs Segtree.Boxed ---- *)
+
+(* The flat Bigarray kernel and the retained recursive kernel must
+   agree on every operation of the same randomized stream (the naive
+   Profile checks above pin both to ground truth; this pins them to
+   each other on the full query surface, including the sentinel
+   variants the hot loops use). *)
+let flat_vs_boxed_stream () =
+  let instances = 24 and ops_per_instance = 800 in
+  for i = 1 to instances do
+    let rng = Rng.create (31_000 + i) in
+    let width = Rng.int_in rng 1 150 in
+    let t = Segtree.create width in
+    let b = Segtree.Boxed.create width in
+    for op = 1 to ops_per_instance do
+      match Rng.int rng 6 with
+      | 0 ->
+          let lo = Rng.int rng width in
+          let hi = lo + Rng.int rng (width - lo + 1) in
+          let h = Rng.int_in rng (-5) 9 in
+          Segtree.range_add t ~lo ~hi h;
+          Segtree.Boxed.range_add b ~lo ~hi h
+      | 1 ->
+          let lo = Rng.int rng width in
+          let hi = lo + Rng.int rng (width - lo + 1) in
+          let x = Segtree.range_max t ~lo ~hi in
+          let y = Segtree.Boxed.range_max b ~lo ~hi in
+          if x <> y then
+            Alcotest.failf "instance %d op %d: range_max [%d,%d) flat %d <> boxed %d"
+              i op lo hi x y
+      | 2 ->
+          let lo = Rng.int rng width in
+          let hi = lo + Rng.int rng (width - lo + 1) in
+          let thr = Rng.int_in rng (-10) 20 in
+          let x = Segtree.find_last_above t ~lo ~hi thr in
+          let y = Segtree.Boxed.find_last_above b ~lo ~hi thr in
+          if x <> y then
+            Alcotest.failf "instance %d op %d: find_last_above differs" i op;
+          if Segtree.find_last_above_i t ~lo ~hi thr
+             <> Option.value x ~default:(-1)
+          then Alcotest.failf "instance %d op %d: _i sentinel differs" i op
+      | 3 ->
+          let from = Rng.int rng (width + 1) in
+          let len = 1 + Rng.int rng width in
+          let height = Rng.int rng 8 in
+          let limit = Rng.int_in rng (-5) 25 in
+          let x = Segtree.first_fit_from t ~from ~len ~height ~limit in
+          let y = Segtree.Boxed.first_fit_from b ~from ~len ~height ~limit in
+          if x <> y then
+            Alcotest.failf "instance %d op %d: first_fit_from differs" i op;
+          if Segtree.first_fit_from_i t ~from ~len ~height ~limit
+             <> Option.value x ~default:(-1)
+          then Alcotest.failf "instance %d op %d: _i sentinel differs" i op
+      | 4 ->
+          let len = 1 + Rng.int rng (width + 1) in
+          if Segtree.best_start t ~len <> Segtree.Boxed.best_start b ~len then
+            Alcotest.failf "instance %d op %d: best_start differs" i op
+      | _ ->
+          if Segtree.max_all t <> Segtree.Boxed.max_all b then
+            Alcotest.failf "instance %d op %d: max_all differs" i op
+    done;
+    if Segtree.to_array t <> Segtree.Boxed.to_array b then
+      Alcotest.failf "instance %d: final arrays differ" i
+  done
+
+(* ---- int-boundary and overflow-guard cases ---- *)
+
+(* Both kernels carry the same O(1) root guard: a positive range_add
+   that would push the running maximum past max_int raises
+   Xutil.Overflow and leaves further behaviour to the caller. *)
+let overflow_guard_cases () =
+  let huge = max_int - 10 in
+  let raises f =
+    match f () with
+    | () -> false
+    | exception Dsp_util.Xutil.Overflow -> true
+  in
+  let t = Segtree.create 8 and b = Segtree.Boxed.create 8 in
+  Segtree.range_add t ~lo:2 ~hi:6 huge;
+  Segtree.Boxed.range_add b ~lo:2 ~hi:6 huge;
+  Alcotest.(check int) "flat carries the near-max value" huge (Segtree.get t 3);
+  Alcotest.(check bool) "flat guard trips" true
+    (raises (fun () -> Segtree.range_add t ~lo:0 ~hi:8 100));
+  Alcotest.(check bool) "boxed guard trips" true
+    (raises (fun () -> Segtree.Boxed.range_add b ~lo:0 ~hi:8 100));
+  (* A trip must not corrupt the structure: the guard fires before any
+     cell is touched. *)
+  Alcotest.(check int) "flat intact after trip" huge (Segtree.get t 3);
+  Alcotest.(check (list int))
+    "flat still matches boxed after trip"
+    (Array.to_list (Segtree.Boxed.to_array b))
+    (Array.to_list (Segtree.to_array t));
+  (* Negative adds cannot raise the maximum, so they pass the guard
+     even at the boundary. *)
+  Segtree.range_add t ~lo:0 ~hi:8 (-5);
+  Segtree.Boxed.range_add b ~lo:0 ~hi:8 (-5);
+  Alcotest.(check int) "negative add applies" (huge - 5) (Segtree.get t 3);
+  (* Saturating threshold: limit = max_int with a positive height must
+     not wrap into rejecting everything. *)
+  Alcotest.(check (option int))
+    "max_int budget admits start 0" (Some 0)
+    (Segtree.first_fit_from t ~from:0 ~len:8 ~height:3 ~limit:max_int);
+  Alcotest.(check (option int))
+    "min_int threshold finds the last column" (Some 7)
+    (Segtree.find_last_above t ~lo:0 ~hi:8 min_int)
+
+(* ---- copy interleaved with flattens ---- *)
+
+(* The flat kernel's flatten is dirty-tracked (only columns touched
+   since the last flatten are re-read into the buffer), and [copy]
+   carries that state over.  Interleave flattens, copies, and
+   post-copy updates on both sides of the fork to pin the
+   bookkeeping. *)
+let copy_flatten_interleaving () =
+  let w = 97 in
+  let t = Segtree.create w in
+  let reference = Array.make w 0 in
+  let add t lo hi v = Segtree.range_add t ~lo ~hi v in
+  add t 10 40 5;
+  add t 30 90 2;
+  (* flatten once so the buffer holds stale-but-valid columns *)
+  ignore (Segtree.best_start t ~len:12);
+  add t 0 20 7;
+  let c = Segtree.copy t in
+  Array.iteri
+    (fun i _ ->
+      reference.(i) <-
+        (if i >= 10 && i < 40 then 5 else 0)
+        + (if i >= 30 && i < 90 then 2 else 0)
+        + if i < 20 then 7 else 0)
+    reference;
+  Alcotest.(check (list int))
+    "copy flattens to the source profile" (Array.to_list reference)
+    (Array.to_list (Segtree.to_array c));
+  (* diverge both sides after the fork; neither may see the other *)
+  add t 50 60 11;
+  add c 80 97 3;
+  let expect_t = Array.mapi (fun i v -> if i >= 50 && i < 60 then v + 11 else v) reference in
+  let expect_c = Array.mapi (fun i v -> if i >= 80 then v + 3 else v) reference in
+  Alcotest.(check (list int))
+    "source sees only its own update" (Array.to_list expect_t)
+    (Array.to_list (Segtree.to_array t));
+  Alcotest.(check (list int))
+    "copy sees only its own update" (Array.to_list expect_c)
+    (Array.to_list (Segtree.to_array c));
+  Alcotest.(check bool) "best_start agrees with Boxed after the fork" true
+    (let b = Segtree.Boxed.of_array (Segtree.to_array c) in
+     Segtree.best_start c ~len:9 = Segtree.Boxed.best_start b ~len:9)
+
 let suite =
   [
     Alcotest.test_case "profile ops match naive (24 instances x 1200 ops)" `Quick
       differential_stream;
+    Alcotest.test_case "flat matches Boxed (24 instances x 800 ops)" `Quick
+      flat_vs_boxed_stream;
+    Alcotest.test_case "overflow guards and int-boundary thresholds" `Quick
+      overflow_guard_cases;
+    Alcotest.test_case "copy interleaved with dirty-tracked flattens" `Quick
+      copy_flatten_interleaving;
     Alcotest.test_case "of_starts matches naive (20 instances)" `Quick
       of_starts_differential;
     Helpers.qtest ~count:300 "first_fit_pos matches linear scan" query_arb

@@ -14,7 +14,13 @@ let fx name = Filename.concat fixtures name
 let cfg =
   {
     L.r1_scope =
-      [ ("r1_bad.ml", L.All); ("r1_good.ml", L.All); ("suppress.ml", L.All) ];
+      [
+        ("r1_bad.ml", L.All);
+        ("r1_good.ml", L.All);
+        ("r1_flat_bad.ml", L.All);
+        ("r1_flat_good.ml", L.All);
+        ("suppress.ml", L.All);
+      ];
     r2_dirs = [ "fixtures" ];
     r3_dirs = [ "fixtures" ];
     r4_sites_file = Some "r4_sites.ml";
@@ -40,6 +46,16 @@ let rule_tests =
           (run ~only:[ L.R1 ] [ fx "r1_bad.ml" ]));
     case "R1 accepts checked helpers and index idioms" (fun () ->
         check "r1_good" [] (run ~only:[ L.R1 ] [ fx "r1_good.ml" ]));
+    case "R1 flags raw Bigarray-cell accumulation (flat-kernel style)" (fun () ->
+        check "r1_flat_bad"
+          [
+            ("R1", "r1_flat_bad.ml", 3);
+            ("R1", "r1_flat_bad.ml", 4);
+            ("R1", "r1_flat_bad.ml", 5);
+          ]
+          (run ~only:[ L.R1 ] [ fx "r1_flat_bad.ml" ]));
+    case "R1 accepts saturating thresholds and waivered guard sites" (fun () ->
+        check "r1_flat_good" [] (run ~only:[ L.R1 ] [ fx "r1_flat_good.ml" ]));
     case "R2 flags bare toplevel mutable state" (fun () ->
         check "r2_bad"
           [ ("R2", "r2_bad.ml", 2); ("R2", "r2_bad.ml", 3); ("R2", "r2_bad.ml", 4) ]

@@ -1,0 +1,5 @@
+(* R1 fixture: flat-kernel style — raw accumulation on Bigarray cell
+   values.  Parsed by dsp_lint only, never compiled. *)
+let apply_add t v value = Bigarray.Array1.unsafe_set t (2 * v) (cell t v + value)
+let adjusted t v acc = acc + Bigarray.Array1.unsafe_get t (2 * v)
+let threshold limit height = limit - height

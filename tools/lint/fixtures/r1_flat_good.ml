@@ -1,0 +1,11 @@
+(* R1 fixture: flat-kernel style done right — index math rides the
+   small-literal exemption, thresholds saturate, and the one guarded
+   accumulation site carries its waiver.  Parsed by dsp_lint only. *)
+let tget t v = Bigarray.Array1.unsafe_get t (2 * v)
+let lslot v = (2 * v) + 1
+let threshold limit height = Xutil.sat_sub limit height
+let guard t value = ignore (Xutil.checked_add (tget t 1) value)
+
+let apply_add t v value =
+  guard t value;
+  Bigarray.Array1.unsafe_set t (2 * v) (tget t v + value) (* lint: ok R1 — root guard *)

@@ -221,7 +221,22 @@ let project_config ~root =
     r1_scope =
       [
         ("lib/util/rat.ml", All);
-        ("lib/core/segtree.ml", Only [ "add_rec"; "range_add" ]);
+        ( "lib/core/segtree.ml",
+          Only
+            [
+              (* boxed kernel *)
+              "add_rec";
+              "range_add";
+              (* flat kernel hot paths (range_add is shared by name) *)
+              "apply_add";
+              "pull";
+              "range_max";
+              "descend_above";
+              "last_above";
+              "first_fit_from_i";
+              "push_down_sweep";
+              "push_subtree";
+            ] );
         ("lib/core/profile.ml", Except [ "render"; "pp" ]);
       ];
     r2_dirs = reachable_lib_dirs ~root ~roots:[ "dsp_exact"; "dsp_engine" ];
