@@ -1,4 +1,4 @@
-(* Machine-readable benchmark output (schema dsp-bench/4).
+(* Machine-readable benchmark output (schema dsp-bench/5).
 
    Experiments register metrics (wall-clock seconds, peak heights,
    node counts, speedups) under their experiment id while they run;
@@ -22,7 +22,14 @@
    per-measurement [gc] sub-records of the kernel and counters
    experiments.  Groups never nest; the loader rejects deeper
    structure so downstream tooling can keep treating leaves as
-   scalars. *)
+   scalars.
+
+   Schema v5 (same container, new vocabulary) marks two additions: the
+   online experiment family (per-policy competitive ratios, "latency"
+   percentile groups next to the "gc" groups), and the canonical
+   "seed" metric every randomized experiment records — the
+   DSP_BENCH_SEED offset the run was generated with, so a results file
+   pins the exact workload it measured. *)
 
 type value =
   | Int of int
@@ -32,11 +39,18 @@ type value =
   | Group of (string * value) list
       (* one level deep: fields must be scalars (enforced on record) *)
 
-let schema_version = "dsp-bench/4"
+let schema_version = "dsp-bench/5"
 
 (* Schema versions [load] accepts: the container shape is identical,
-   v3 only adds optional keys, v4 adds one-level metric groups. *)
-let known_schemas = [ "dsp-bench/2"; "dsp-bench/3"; schema_version ]
+   v3 only adds optional keys, v4 adds one-level metric groups, v5
+   adds the online experiment family and the "seed" metric. *)
+let known_schemas =
+  [ "dsp-bench/2"; "dsp-bench/3"; "dsp-bench/4"; schema_version ]
+
+(* Versions whose files may carry one-level groups (v4 introduced
+   them); the loader must keep accepting groups in v4 files after
+   later bumps, not just in the current version. *)
+let group_schemas = [ "dsp-bench/4"; schema_version ]
 
 (* Insertion-ordered: experiment ids in run order, metrics in record
    order within an experiment.  The store is shared mutable state and
@@ -351,8 +365,8 @@ let of_json = function
                         if k = "id" then Ok None
                         else
                           match v with
-                          | Jobj fields when schema = schema_version ->
-                              (* v4 group: exactly one level of scalars. *)
+                          | Jobj fields when List.mem schema group_schemas ->
+                              (* v4+ group: exactly one level of scalars. *)
                               let rec go acc = function
                                 | [] -> Ok (Some (k, Group (List.rev acc)))
                                 | (gk, gv) :: rest -> (

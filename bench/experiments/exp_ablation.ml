@@ -8,7 +8,7 @@ let e12 () =
   Common.section "E12" "ablation: slicing benefit and structured vs greedy";
   let gaps = ref [] and strict = ref 0 and total = ref 0 in
   for seed = 0 to 120 do
-    let rng = Rng.create (seed * 7) in
+    let rng = Rng.create (Common.seed_for (seed * 7)) in
     let inst =
       Dsp_instance.Generators.uniform rng
         ~n:(5 + (seed mod 4))
@@ -37,7 +37,7 @@ let e12 () =
     (List.length Dsp_instance.Gap_family.slicing_wins);
   let structured = ref 0.0 and greedy = ref 0.0 and cnt = ref 0 in
   for seed = 0 to 15 do
-    let rng = Rng.create (seed * 31) in
+    let rng = Rng.create (Common.seed_for (seed * 31)) in
     let inst =
       Dsp_instance.Generators.tall_and_flat rng ~n:40 ~width:40 ~max_h:20
     in

@@ -10,7 +10,7 @@ let e5 () =
     "optimal?";
   List.iter
     (fun (n, seed) ->
-      let rng = Rng.create seed in
+      let rng = Rng.create (Common.seed_for seed) in
       let inst =
         Dsp_instance.Generators.uniform rng ~n ~width:12 ~max_w:6 ~max_h:6
       in
@@ -33,7 +33,7 @@ let e67 which name solver_result =
     "mach-fac" "optimal?";
   List.iter
     (fun (n, m, seed) ->
-      let rng = Rng.create seed in
+      let rng = Rng.create (Common.seed_for seed) in
       let pts = Dsp_instance.Generators.uniform_pts rng ~n ~machines:m ~max_p:6 in
       let r = solver_result pts in
       let opt = Dsp_exact.Pts_exact.optimal_makespan ~node_limit:3_000_000 pts in

@@ -13,7 +13,7 @@ module Report = Dsp_engine.Report
 module Rng = Dsp_util.Rng
 
 let standard_set () =
-  let mk f seed = f (Rng.create seed) in
+  let mk f seed = f (Rng.create (Common.seed_for seed)) in
   [
     ( "uniform-60",
       mk (fun rng ->

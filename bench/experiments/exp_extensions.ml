@@ -10,7 +10,7 @@ let e13 () =
   Printf.printf "%-8s %10s %12s %10s\n" "seed" "fixed-OPT" "rotated-OPT" "greedy";
   List.iter
     (fun seed ->
-      let rng = Rng.create seed in
+      let rng = Rng.create (Common.seed_for seed) in
       let inst =
         Dsp_instance.Generators.uniform rng ~n:5 ~width:8 ~max_w:5 ~max_h:7
       in

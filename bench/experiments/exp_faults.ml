@@ -54,7 +54,7 @@ let outcome_kind = function
 
 let run ~experiment ~timeout_ms ~sizes () =
   let actions = actions ~timeout_ms in
-  let rng = Rng.create 11 in
+  let rng = Rng.create (Common.seed_for 11) in
   let inst =
     Dsp_instance.Generators.uniform rng ~n:(fst sizes) ~width:(snd sizes)
       ~max_w:(max 1 (snd sizes / 2)) ~max_h:12

@@ -38,7 +38,7 @@ let e4 () =
   in
   List.iter
     (fun (k, seed) ->
-      let rng = Rng.create seed in
+      let rng = Rng.create (Common.seed_for seed) in
       report (Printf.sprintf "yes k=%d" k)
         (Dsp_instance.Hardness.yes_instance rng ~k ~bound:16))
     [ (2, 1); (3, 2); (4, 3); (5, 4) ];

@@ -110,7 +110,7 @@ let on_domains ~domains f =
    Gc counter reads themselves, amortized over 100k ops). *)
 let alloc_probe ~experiment w =
   let t = Segtree.create w in
-  let rng = Rng.create 4242 in
+  let rng = Rng.create (Common.seed_for 4242) in
   let m = 256 in
   let los = Array.init m (fun _ -> Rng.int rng w) in
   let lens = Array.init m (fun i -> 1 + Rng.int rng (w - los.(i))) in
@@ -156,7 +156,7 @@ let kernel_at ~experiment widths () =
   List.iter
     (fun w ->
       let n = max 40 (w / 16) in
-      let rng = Rng.create (555 + w) in
+      let rng = Rng.create (Common.seed_for (555 + w)) in
       let inst =
         Dsp_instance.Generators.uniform rng ~n ~width:w ~max_w:(max 2 (w / 10))
           ~max_h:50

@@ -6,7 +6,7 @@ module Rng = Dsp_util.Rng
 let micro () =
   Common.section "micro" "bechamel micro-benchmarks (ns per run, OLS estimate)";
   let open Bechamel in
-  let rng = Rng.create 7 in
+  let rng = Rng.create (Common.seed_for 7) in
   let inst =
     Dsp_instance.Generators.uniform rng ~n:200 ~width:500 ~max_w:60 ~max_h:30
   in

@@ -31,7 +31,7 @@ let record key v = Bench_json.record ~experiment:"parallel" key v
 let timeit = Dsp_util.Xutil.timeit
 
 let uniform ~seed ~n ~width =
-  let rng = Dsp_util.Rng.create seed in
+  let rng = Dsp_util.Rng.create (Common.seed_for seed) in
   Dsp_instance.Generators.uniform rng ~n ~width ~max_w:(width / 2) ~max_h:20
 
 let speedup serial par = if par > 0.0 then serial /. par else Float.nan

@@ -15,20 +15,20 @@ let e8 () =
     [
       ( "uniform",
         fun seed ->
-          let rng = Rng.create seed in
+          let rng = Rng.create (Common.seed_for seed) in
           Dsp_instance.Generators.uniform rng
             ~n:(5 + (seed mod 5))
             ~width:(8 + (seed mod 6))
             ~max_w:6 ~max_h:8 );
       ( "tall-flat",
         fun seed ->
-          let rng = Rng.create seed in
+          let rng = Rng.create (Common.seed_for seed) in
           Dsp_instance.Generators.tall_and_flat rng
             ~n:(5 + (seed mod 4))
             ~width:12 ~max_h:8 );
       ( "correlated",
         fun seed ->
-          let rng = Rng.create seed in
+          let rng = Rng.create (Common.seed_for seed) in
           Dsp_instance.Generators.correlated rng
             ~n:(5 + (seed mod 4))
             ~width:10 ~max_w:6 ~max_h:6 );
@@ -74,7 +74,7 @@ let e8 () =
         List.filter_map Fun.id
           (Common.par_map
              (fun seed ->
-               let rng = Rng.create seed in
+               let rng = Rng.create (Common.seed_for seed) in
                let inst =
                  Dsp_instance.Generators.uniform rng ~n:7 ~width:10 ~max_w:6
                    ~max_h:8

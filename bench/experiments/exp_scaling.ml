@@ -13,7 +13,7 @@ let e9 () =
   let n_rows =
     Common.par_map
       (fun n ->
-        let rng = Rng.create (77 + n) in
+        let rng = Rng.create (Common.seed_for (77 + n)) in
         let inst =
           Dsp_instance.Generators.uniform rng ~n ~width:60 ~max_w:20 ~max_h:30
         in
@@ -31,7 +31,7 @@ let e9 () =
   let w_rows =
     Common.par_map
       (fun w ->
-        let rng = Rng.create (99 + w) in
+        let rng = Rng.create (Common.seed_for (99 + w)) in
         let inst =
           Dsp_instance.Generators.uniform rng ~n:100 ~width:w
             ~max_w:(max 1 (w / 3)) ~max_h:30

@@ -9,7 +9,7 @@ let e10 () =
     "algorithm" "peak" "reduction";
   List.iter
     (fun households ->
-      let rng = Rng.create (2024 + households) in
+      let rng = Rng.create (Common.seed_for (2024 + households)) in
       let runs = Dsp_smartgrid.Smartgrid.simulate_day rng ~households in
       List.iter
         (fun name ->

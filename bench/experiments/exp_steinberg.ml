@@ -11,7 +11,7 @@ let e11 () =
     (fun (fam, max_w, max_h) ->
       let ratios = ref [] and valid = ref 0 and total = ref 0 in
       for seed = 0 to 40 do
-        let rng = Rng.create (seed * 13) in
+        let rng = Rng.create (Common.seed_for (seed * 13)) in
         let inst =
           Dsp_instance.Generators.uniform rng ~n:(8 + (seed mod 8)) ~width:20
             ~max_w ~max_h

@@ -12,7 +12,7 @@ let e14 () =
     "h-starts" "largeB" "horizB" "tvB" "tv-bound";
   List.iter
     (fun seed ->
-      let rng = Rng.create seed in
+      let rng = Rng.create (Common.seed_for seed) in
       (* A mix with genuinely horizontal items (flat and wide): the
          horizontal class needs h <= mu*OPT, so the optimum must be
          large relative to the flat items' heights. *)
@@ -47,7 +47,7 @@ let e15 () =
   Printf.printf "%-10s %8s %8s %10s\n" "quarter" "boxes" "verified" "avg-swaps";
   List.iter
     (fun quarter ->
-      let rng = Rng.create (40 + quarter) in
+      let rng = Rng.create (Common.seed_for (40 + quarter)) in
       let ok = ref 0 and total = ref 0 and swaps = ref 0 in
       for _ = 1 to 200 do
         let box_height = (3 * quarter) + Rng.int_in rng 1 quarter in

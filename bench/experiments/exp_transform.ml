@@ -10,7 +10,7 @@ let e2 () =
   Printf.printf "%-8s %18s %18s\n" "n" "sched->layout (s)" "packing->sched (s)";
   List.iter
     (fun n ->
-      let rng = Rng.create (1000 + n) in
+      let rng = Rng.create (Common.seed_for (1000 + n)) in
       let pts = Dsp_instance.Generators.uniform_pts rng ~n ~machines:20 ~max_p:30 in
       let sched = Dsp_pts.List_scheduling.schedule pts in
       let _, t_layout =
@@ -33,7 +33,7 @@ let e3 () =
       let trials = 30 in
       let ok = ref 0 and preserved = ref 0 in
       for seed = 1 to trials do
-        let rng = Rng.create ((n * 131) + seed) in
+        let rng = Rng.create (Common.seed_for ((n * 131) + seed)) in
         let m = 3 + Rng.int rng 10 in
         let pts = Dsp_instance.Generators.uniform_pts rng ~n ~machines:m ~max_p:20 in
         let sched = Dsp_pts.List_scheduling.schedule pts in

@@ -1,7 +1,8 @@
-(* Perf-regression gate: compare a candidate BENCH.json against the
-   checked-in baseline for one experiment (default kernel-smoke) and
-   fail on regressions.  Driven by scripts/perf_gate.sh in check.sh
-   and CI.
+(* Perf-regression gate: compare a candidate BENCH.json against a
+   baseline (--baseline PATH, default the checked-in
+   bench/results/baseline-kernel-smoke.json) for one experiment
+   (default kernel-smoke) and fail on regressions.  Driven by
+   scripts/perf_gate.sh in check.sh and CI.
 
    Checks, in order:
    - both files parse and validate under the Bench_json loader;
@@ -23,8 +24,16 @@ let tolerance = 0.30 (* +30% wall-clock *)
 let abs_floor = 0.05 (* seconds; below this, deltas are noise *)
 let alloc_threshold = 0.01 (* words per kernel op *)
 
+let default_baseline =
+  Filename.concat
+    (Filename.concat "bench" "results")
+    "baseline-kernel-smoke.json"
+
 let usage () =
-  prerr_endline "usage: gate <baseline.json> <candidate.json> [experiment-id]";
+  prerr_endline
+    "usage: gate [--baseline baseline.json] <candidate.json> [experiment-id]";
+  prerr_endline "       gate <baseline.json> <candidate.json> [experiment-id]";
+  Printf.eprintf "(default baseline: %s)\n" default_baseline;
   exit 2
 
 let load path =
@@ -52,9 +61,22 @@ let has_suffix sfx s =
 
 let () =
   let baseline_path, candidate_path, experiment =
-    match Array.to_list Sys.argv |> List.tl with
-    | [ b; c ] -> (b, c, "kernel-smoke")
-    | [ b; c; e ] -> (b, c, e)
+    (* --baseline PATH names the reference explicitly; without it a
+       single positional compares against the checked-in default, and
+       the legacy two-positional form still reads as
+       <baseline> <candidate>. *)
+    let rec split_baseline acc = function
+      | "--baseline" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | "--baseline" :: [] -> usage ()
+      | arg :: rest -> split_baseline (arg :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    match split_baseline [] (Array.to_list Sys.argv |> List.tl) with
+    | Some b, [ c ] -> (b, c, "kernel-smoke")
+    | Some b, [ c; e ] -> (b, c, e)
+    | None, [ c ] -> (default_baseline, c, "kernel-smoke")
+    | None, [ b; c ] -> (b, c, "kernel-smoke")
+    | None, [ b; c; e ] -> (b, c, e)
     | _ -> usage ()
   in
   let base = metrics_of (load baseline_path) experiment baseline_path in

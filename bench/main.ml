@@ -14,6 +14,8 @@
      dune exec bench/main.exe -- faults       # fault-injection robustness matrix
      dune exec bench/main.exe -- faults-smoke # CI-sized fault matrix
      dune exec bench/main.exe -- parallel     # 1-domain vs N-domain speedups
+     dune exec bench/main.exe -- online       # incremental sessions vs offline
+     dune exec bench/main.exe -- online-smoke # CI-sized online run
 
    DSP_JOBS=k runs the coarse experiments k at a time on a domain pool
    (and fans out per-instance work inside E8/E9); timing-sensitive
@@ -23,14 +25,22 @@
    domain-safe.  Without DSP_JOBS everything runs exactly as the
    serial harness always has.
 
-   Every run also writes BENCH.json (override the path with the
-   BENCH_JSON environment variable) under schema dsp-bench/4:
+   Results files: the canonical record of a run is
+   bench/results/latest.json (plus its timestamped sibling); the
+   BENCH.json written at the repo root is a documented convenience
+   copy of the same data for quick inspection.  BENCH_JSON overrides
+   the convenience path, BENCH_JSON=none suppresses it entirely (the
+   archive still lands under bench/results/ unless that is disabled
+   too).  The schema is dsp-bench/5:
    per-experiment wall-clock and status, the metrics individual
    experiments record (kernel speedups and peaks, E4 node counts,
-   fault-matrix outcomes, the "parallel" experiment's speedups), the
-   per-solver instrumentation counters of the "counters" experiment,
-   and the one-level "gc" sub-records of the kernel and counters
-   experiments.  Crash safety: an experiment that raises is recorded
+   fault-matrix outcomes, the "parallel" experiment's speedups, the
+   "online" experiment's competitive ratios and latency percentiles),
+   the per-solver instrumentation counters of the "counters"
+   experiment, the one-level "gc"/"latency" sub-records, and the
+   "seed" metric every randomized experiment pins (DSP_BENCH_SEED
+   shifts all generated workloads at once; default 0 reproduces the
+   historical fixed-seed runs).  Crash safety: an experiment that raises is recorded
    as a degraded entry (status "crashed" plus the error) instead of
    aborting the run, and the file is checkpointed atomically after
    every experiment, so a killed harness leaves the last completed
@@ -54,18 +64,26 @@ let experiments =
   @ Exp_ablation.experiments @ Exp_extensions.experiments
   @ Exp_structure.experiments @ Exp_kernel.experiments @ Exp_micro.experiments
   @ Exp_counters.experiments @ Exp_faults.experiments @ Exp_parallel.experiments
+  @ Exp_online.experiments
 
 (* Experiments that must not share the process with concurrent load:
    micro/kernel timings and the parallel experiment's serial-vs-pool
    comparison would be skewed, the counters experiment asserts exact
-   Instr deltas for a single solve at a time, and the fault matrix
-   arms process-global fault plans. *)
+   Instr deltas for a single solve at a time, the fault matrix arms
+   process-global fault plans, and the online experiment reports
+   per-event latency percentiles. *)
 let serial_only =
   [ "kernel"; "kernel-smoke"; "micro"; "counters"; "faults"; "faults-smoke";
-    "parallel" ]
+    "parallel"; "online"; "online-smoke" ]
 
+(* None when BENCH_JSON=none: the bench/results/ archive is the
+   canonical record; the root BENCH.json is a convenience copy that
+   can be turned off. *)
 let bench_path () =
-  Option.value (Sys.getenv_opt "BENCH_JSON") ~default:"BENCH.json"
+  match Sys.getenv_opt "BENCH_JSON" with
+  | Some "none" -> None
+  | Some p -> Some p
+  | None -> Some "BENCH.json"
 
 (* ----- trending archive (bench/results/) ------------------------------ *)
 
@@ -111,12 +129,15 @@ let write_trend () =
             (Unix.error_message e))
 
 let run_experiment (name, f) =
-  let checkpoint () = Bench_json.write (bench_path ()) in
+  let checkpoint () =
+    match bench_path () with None -> () | Some p -> Bench_json.write p
+  in
   match Dsp_util.Xutil.timeit f with
   | (), seconds ->
       (* Under DSP_JOBS this wall-clock overlaps with concurrent
          experiments; read it relative to the serial baseline only. *)
       Bench_json.record ~experiment:name "seconds" (Bench_json.Float seconds);
+      Common.record_seed ~experiment:name;
       Bench_json.record ~experiment:name "status" (Bench_json.String "ok");
       checkpoint ()
   | exception e ->
@@ -158,11 +179,12 @@ let () =
   let ran =
     match Array.to_list Sys.argv |> List.tl with
     | [] ->
-        (* kernel-smoke and faults-smoke are the CI-sized variants of
-           kernel and faults; skip them in a full run. *)
+        (* The *-smoke experiments are CI-sized variants of kernel,
+           faults and online; skip them in a full run. *)
         run_selected
           (List.filter
-             (fun (name, _) -> name <> "kernel-smoke" && name <> "faults-smoke")
+             (fun (name, _) ->
+               not (Filename.check_suffix name "-smoke"))
              experiments);
         print_newline ();
         true
@@ -181,8 +203,10 @@ let () =
         selected <> []
   in
   if ran then begin
-    let path = bench_path () in
-    Bench_json.write path;
-    Printf.printf "\nwrote %s\n" path;
+    (match bench_path () with
+    | Some path ->
+        Bench_json.write path;
+        Printf.printf "\nwrote %s\n" path
+    | None -> ());
     write_trend ()
   end

@@ -1,11 +1,13 @@
 (* dsp — command-line front end for the Demand Strip Packing library.
 
    Subcommands: list, generate, solve, compare, exact, gap, transform,
-   smartgrid.  Instances travel as the plain-text format of
-   {!Dsp_instance.Io}.  Every algorithm the CLI knows about comes from
-   the central solver registry ({!Dsp_engine.Registry}): solvers
+   smartgrid, trace, online.  Instances travel as the plain-text
+   format of {!Dsp_instance.Io}; event traces as the format of
+   {!Dsp_instance.Trace}.  Every algorithm the CLI knows about comes
+   from the central solver registry ({!Dsp_engine.Registry}): solvers
    registered there appear in [list], [solve --algo], and [compare]
-   automatically. *)
+   automatically.  Every subcommand that draws randomness takes the
+   same deterministic [--seed]. *)
 
 open Cmdliner
 open Dsp_core
@@ -44,6 +46,15 @@ let solver_conv =
   in
   Arg.conv
     (parse, fun fmt (s : Solver.t) -> Format.pp_print_string fmt s.Solver.name)
+
+(* One spelling of determinism for every randomized subcommand: equal
+   seeds replay generators and traces bit-identically (Dsp_util.Rng). *)
+let seed_arg =
+  Arg.(
+    value
+    & opt int 42
+    & info [ "seed" ]
+        ~doc:"Random seed; equal seeds replay generators bit-identically.")
 
 let budget_nodes_arg =
   Arg.(
@@ -168,10 +179,9 @@ let generate_cmd =
   in
   let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"number of items") in
   let width = Arg.(value & opt int 50 & info [ "width"; "W" ] ~doc:"strip width") in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"random seed") in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a random DSP instance")
-    Term.(const run $ kind $ n $ width $ seed)
+    Term.(const run $ kind $ n $ width $ seed_arg)
 
 (* solve *)
 
@@ -523,10 +533,192 @@ let smartgrid_cmd =
   let households =
     Arg.(value & opt int 25 & info [ "households" ] ~doc:"number of households")
   in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"random seed") in
   Cmd.v
     (Cmd.info "smartgrid" ~doc:"Simulate a smart-grid day and minimize its peak")
-    Term.(const run $ households $ seed)
+    Term.(const run $ households $ seed_arg)
+
+(* trace *)
+
+let trace_cmd =
+  let run kind n width seed households arrivals_only scale =
+    let rng = Dsp_util.Rng.create seed in
+    let trace =
+      match kind with
+      | "smartgrid" ->
+          Dsp_instance.Trace.smartgrid rng ~households
+            ~departures:(not arrivals_only)
+      | "gap" -> Dsp_instance.Trace.gap_arrivals rng ~scale
+      | "churn" -> Dsp_instance.Trace.churn rng ~width ~n
+      | "uniform" ->
+          Dsp_instance.Trace.of_instance ~shuffle:rng
+            (Dsp_instance.Generators.uniform rng ~n ~width
+               ~max_w:(max 1 (width / 2)) ~max_h:20)
+      | other ->
+          Printf.eprintf "unknown kind %S\n" other;
+          exit 2
+    in
+    print_string (Dsp_instance.Trace.to_string trace)
+  in
+  let kind =
+    Arg.(
+      value
+      & opt string "smartgrid"
+      & info [ "kind" ] ~doc:"smartgrid|gap|churn|uniform")
+  in
+  let n =
+    Arg.(value & opt int 40 & info [ "n" ] ~doc:"arrivals (churn, uniform)")
+  in
+  let width =
+    Arg.(
+      value & opt int 50 & info [ "width"; "W" ] ~doc:"strip width (churn, uniform)")
+  in
+  let households =
+    Arg.(
+      value & opt int 25 & info [ "households" ] ~doc:"households (smartgrid)")
+  in
+  let arrivals_only =
+    Arg.(
+      value
+      & flag
+      & info [ "arrivals-only" ]
+          ~doc:"suppress departures (smartgrid kind only)")
+  in
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"height scale (gap)")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Generate an arrival/departure trace for $(b,dsp online)")
+    Term.(
+      const run $ kind $ n $ width $ seed_arg $ households $ arrivals_only
+      $ scale)
+
+(* online *)
+
+let online_cmd =
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+  in
+  let run trace_path policy_name k stats show =
+    let text =
+      if trace_path = "-" then In_channel.input_all In_channel.stdin
+      else Dsp_instance.Io.read_file trace_path
+    in
+    let trace =
+      match Dsp_instance.Trace.of_string text with
+      | Ok t -> t
+      | Error e ->
+          Printf.eprintf "error: %s: %s\n"
+            (if trace_path = "-" then "<stdin>" else trace_path)
+            (Dsp_instance.Trace.error_to_string e);
+          exit 2
+    in
+    let policy =
+      match Dsp_engine.Session.find_policy ~k policy_name with
+      | Some p -> p
+      | None ->
+          Printf.eprintf
+            "error: unknown policy %S (expected first-fit|best-fit|migrate)\n"
+            policy_name;
+          exit 2
+    in
+    let before = Dsp_util.Instr.snapshot () in
+    let session =
+      Dsp_engine.Session.create ~policy ~width:trace.Dsp_instance.Trace.width ()
+    in
+    let events = Array.of_list trace.Dsp_instance.Trace.events in
+    let lats = Array.make (max 1 (Array.length events)) 0.0 in
+    let max_peak = ref 0 in
+    Array.iteri
+      (fun i ev ->
+        let (), dt =
+          Dsp_util.Xutil.timeit (fun () ->
+              Dsp_engine.Session.apply session ev)
+        in
+        lats.(i) <- dt;
+        let pk = Dsp_engine.Session.peak session in
+        if pk > !max_peak then max_peak := pk)
+      events;
+    let s = Dsp_engine.Session.stats session in
+    let packing = Dsp_engine.Session.snapshot session in
+    let valid =
+      match Packing.validate packing with Ok () -> "valid" | Error e -> e
+    in
+    Printf.printf
+      "policy: %s\nevents: %d (%d arrivals, %d departures)\nmigrations: %d\n\
+       final peak: %d\nmax peak: %d\nfinal packing: %s\n"
+      policy.Dsp_engine.Session.pname (Array.length events)
+      s.Dsp_engine.Session.arrivals s.Dsp_engine.Session.departures
+      s.Dsp_engine.Session.migrations s.Dsp_engine.Session.peak_now !max_peak
+      valid;
+    (* Offline yardsticks on the final live set: what a batch solver
+       achieves given the whole remaining workload at once. *)
+    let live_inst = Packing.instance packing in
+    if Instance.n_items live_inst > 0 then begin
+      Printf.printf "offline (final live set, lower bound %d):\n"
+        (Instance.lower_bound live_inst);
+      List.iter
+        (fun name ->
+          let solver = Registry.find_exn name in
+          let pk = Packing.height (solver.Solver.solve
+                                     ~budget:(Dsp_util.Budget.unlimited ())
+                                     live_inst) in
+          Printf.printf "  %-12s peak %4d  ratio %.3f\n" name pk
+            (float_of_int s.Dsp_engine.Session.peak_now /. float_of_int (max 1 pk)))
+        [ "bfd-height"; "approx54" ]
+    end;
+    let sorted = Array.copy lats in
+    Array.sort compare sorted;
+    Printf.printf
+      "per-event latency: p50 %.1fus  p95 %.1fus  p99 %.1fus  max %.1fus\n"
+      (percentile sorted 0.50 *. 1e6)
+      (percentile sorted 0.95 *. 1e6)
+      (percentile sorted 0.99 *. 1e6)
+      (sorted.(Array.length sorted - 1) *. 1e6);
+    if stats then begin
+      let after = Dsp_util.Instr.snapshot () in
+      Printf.printf "counters:\n";
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-28s %d\n" k v)
+        (Dsp_util.Instr.delta ~before ~after)
+    end;
+    if show then
+      print_endline (Profile.render (Dsp_engine.Session.profile session))
+  in
+  let trace_path =
+    Arg.(
+      value
+      & opt string "-"
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Trace file (see $(b,dsp trace)); - reads stdin.")
+  in
+  let policy_name =
+    Arg.(
+      value
+      & opt string "best-fit"
+      & info [ "policy" ] ~doc:"first-fit|best-fit|migrate")
+  in
+  let k =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "migration-k" ]
+          ~doc:"Max re-placements of existing items per arrival (migrate).")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"dump the session counters")
+  in
+  let show =
+    Arg.(value & flag & info [ "render" ] ~doc:"render the final profile")
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:
+         "Replay an arrival/departure trace through an incremental session \
+          and compare against offline solvers")
+    Term.(const run $ trace_path $ policy_name $ k $ stats $ show)
 
 let () =
   let doc = "Demand Strip Packing: algorithms from Jansen, Rau & Tutas (SPAA 2024)" in
@@ -544,4 +736,6 @@ let () =
             rotate_cmd;
             stats_cmd;
             smartgrid_cmd;
+            trace_cmd;
+            online_cmd;
           ]))

@@ -80,6 +80,17 @@ let peak_in t ~start ~len =
 
 let copy t = { tree = Segtree.copy t.tree }
 let to_array t = Segtree.to_array t.tree
+let reset t = Segtree.reset t.tree
+let checkpoint t = Segtree.checkpoint t.tree
+let rollback t mark = Segtree.rollback t.tree mark
+let commit t mark = Segtree.commit t.tree mark
+
+(* A column attaining the (positive) peak: the rightmost column whose
+   load is strictly above peak - 1, i.e. equal to the peak. *)
+let peak_column t =
+  let pk = Segtree.max_all t.tree in
+  if pk <= 0 then None
+  else Some (Segtree.find_last_above_i t.tree ~lo:0 ~hi:(width t) (pk - 1))
 
 let first_fit_start ?(from = 0) t ~len ~height ~budget =
   Segtree.first_fit_from t.tree ~from ~len ~height ~limit:budget

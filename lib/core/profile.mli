@@ -38,6 +38,28 @@ val peak_in : t -> start:int -> len:int -> int
 val copy : t -> t
 val to_array : t -> int array
 
+val reset : t -> unit
+(** Zero every column in place, reusing the allocated storage
+    ({!Segtree.reset}).  Cheaper than [create] for session reuse. *)
+
+val checkpoint : t -> int
+(** Open a transactional region over the profile and return its mark;
+    see {!Segtree.checkpoint}.  Migration trials in the incremental
+    session use this instead of {!copy} — undoing a trial costs
+    O(updates tried), not O(width). *)
+
+val rollback : t -> int -> unit
+(** Undo every update since the matching {!checkpoint} (LIFO) and
+    close it; see {!Segtree.rollback}. *)
+
+val commit : t -> int -> unit
+(** Keep every update since the matching {!checkpoint} and close it;
+    see {!Segtree.commit}. *)
+
+val peak_column : t -> int option
+(** A column attaining the peak (the rightmost one), or [None] when
+    the profile has no positive load.  O(log width). *)
+
 val first_fit_start :
   ?from:int -> t -> len:int -> height:int -> budget:int -> int option
 (** [first_fit_start t ~len ~height ~budget] is the leftmost start [s]

@@ -236,6 +236,9 @@ type t = {
   mutable dirty_lo : int; (* column span touched since the last flatten: *)
   mutable dirty_hi : int; (* [dirty_lo, dirty_hi), empty when lo >= hi *)
   pstack : int array; (* push-down DFS scratch (max one path per level) *)
+  mutable jrn : int array; (* checkpoint journal: (lo, hi, value) triples *)
+  mutable jrn_n : int; (* used cells in [jrn] (always a multiple of 3) *)
+  mutable jrn_depth : int; (* outstanding checkpoints; 0 = journal off *)
 }
 
 (* Node cell accessors.  Indices are [2v] / [2v+1] for v in
@@ -265,6 +268,9 @@ let create n =
     dirty_lo = n;
     dirty_hi = 0;
     pstack = Array.make 128 0;
+    jrn = [||]; (* grown on first journaled update *)
+    jrn_n = 0;
+    jrn_depth = 0;
   }
 
 let size t = t.n
@@ -273,7 +279,9 @@ let copy t =
   let cells = A1.create Bigarray.int Bigarray.c_layout (A1.dim t.cells) in
   A1.blit t.cells cells;
   (* [flat] and the dirty state carry over: entries outside the dirty
-     span are valid flatten results for the copied tree too. *)
+     span are valid flatten results for the copied tree too.  The
+     checkpoint journal carries over as well, so a copy taken inside a
+     checkpointed region can itself be rolled back. *)
   {
     t with
     cells;
@@ -281,6 +289,7 @@ let copy t =
     deque = Array.make t.n 0;
     dirty = Array.copy t.dirty;
     pstack = Array.make 128 0;
+    jrn = Array.copy t.jrn;
   }
 
 (* Add [value] to node [v]'s whole subtree: both the subtree max and
@@ -308,15 +317,13 @@ let pull t v =
   let l = tget t (2 * v) and r = tget t ((2 * v) + 1) in
   tset t v ((if l >= r then l else r) + lget t v) (* lint: ok R1 — root guard *)
 
-let range_add t ~lo ~hi value =
-  if lo < 0 || hi > t.n || lo > hi then invalid_arg "Segtree.range_add: bad range";
-  Dsp_util.Instr.bump c_range_add;
+(* The range_add workhorse, shared with checkpoint rollback (which
+   replays journal entries negated).  Callers have validated the range
+   and run the O(1) overflow guard; rollback re-applies only values
+   whose effect was previously on the tree, so its intermediate states
+   are exactly the earlier (guarded) states in reverse. *)
+let apply_range t lo hi value =
   if lo < hi then begin
-    (* O(1) accumulation overflow guard, identical to Boxed: a
-       positive add can only push an int past [max_int] through the
-       running maximum, and the root cell carries exactly that
-       maximum. *)
-    if value > 0 then ignore (Dsp_util.Xutil.checked_add (tget t 1) value);
     (* Bottom-up over the leaf interval [lo+size, hi+size): apply to
        the O(log n) maximal covered nodes, then rebuild the two
        boundary root paths — merged into one climb above their lowest
@@ -353,6 +360,70 @@ let range_add t ~lo ~hi value =
       x := !x lsr 1
     done
   end
+
+(* Append one (lo, hi, value) triple to the checkpoint journal,
+   doubling the backing array as needed.  Only called while a
+   checkpoint is outstanding, so steady-state range_adds pay a single
+   depth test. *)
+let journal_push t lo hi value =
+  let n = t.jrn_n in
+  if n + 3 > Array.length t.jrn then begin
+    let cap = Array.length t.jrn in
+    let grown = Array.make (if cap = 0 then 96 else 2 * cap) 0 in
+    Array.blit t.jrn 0 grown 0 n;
+    t.jrn <- grown
+  end;
+  t.jrn.(n) <- lo;
+  t.jrn.(n + 1) <- hi;
+  t.jrn.(n + 2) <- value;
+  t.jrn_n <- n + 3
+
+let range_add t ~lo ~hi value =
+  if lo < 0 || hi > t.n || lo > hi then invalid_arg "Segtree.range_add: bad range";
+  Dsp_util.Instr.bump c_range_add;
+  if lo < hi then begin
+    (* O(1) accumulation overflow guard, identical to Boxed: a
+       positive add can only push an int past [max_int] through the
+       running maximum, and the root cell carries exactly that
+       maximum. *)
+    if value > 0 then ignore (Dsp_util.Xutil.checked_add (tget t 1) value);
+    if t.jrn_depth > 0 then journal_push t lo hi value;
+    apply_range t lo hi value
+  end
+
+let checkpoint t =
+  t.jrn_depth <- t.jrn_depth + 1;
+  t.jrn_n
+
+let rollback t mark =
+  if t.jrn_depth <= 0 then invalid_arg "Segtree.rollback: no outstanding checkpoint";
+  if mark < 0 || mark > t.jrn_n || mark mod 3 <> 0 then
+    invalid_arg "Segtree.rollback: bad mark";
+  (* Undo newest-first: range adds commute, but replaying in reverse
+     keeps every intermediate state equal to an earlier live state, so
+     the root-max overflow argument carries over unchanged. *)
+  let i = ref (t.jrn_n - 3) in
+  while !i >= mark do
+    apply_range t t.jrn.(!i) t.jrn.(!i + 1) (0 - t.jrn.(!i + 2));
+    i := !i - 3
+  done;
+  t.jrn_n <- mark;
+  t.jrn_depth <- t.jrn_depth - 1
+
+let commit t mark =
+  if t.jrn_depth <= 0 then invalid_arg "Segtree.commit: no outstanding checkpoint";
+  if mark < 0 || mark > t.jrn_n then invalid_arg "Segtree.commit: bad mark";
+  t.jrn_depth <- t.jrn_depth - 1;
+  if t.jrn_depth = 0 then t.jrn_n <- 0
+
+let reset t =
+  A1.fill t.cells 0;
+  Array.fill t.flat 0 t.n 0;
+  t.dirty_n <- 0;
+  t.dirty_lo <- t.n;
+  t.dirty_hi <- 0;
+  t.jrn_n <- 0;
+  t.jrn_depth <- 0
 
 (* range_max via two iterative boundary descents: walk down from the
    root to the node where [lo, hi) splits, then resolve the suffix

@@ -33,6 +33,31 @@ val copy : t -> t
 val range_add : t -> lo:int -> hi:int -> int -> unit
 (** Add a value to all columns in [lo, hi) — [hi] exclusive. *)
 
+val reset : t -> unit
+(** Zero every column in place, reusing the allocated storage.  Also
+    discards any outstanding checkpoints.  O(size), allocation-free —
+    cheaper than [create] for session reuse. *)
+
+val checkpoint : t -> int
+(** Open a transactional region and return its mark.  While at least
+    one checkpoint is outstanding, every {!range_add} is journaled
+    ((lo, hi, value) triples) so it can be undone without copying the
+    tree.  Checkpoints nest with LIFO discipline: resolve the most
+    recent mark first, via {!rollback} or {!commit}. *)
+
+val rollback : t -> int -> unit
+(** [rollback t mark] undoes every {!range_add} performed since
+    [checkpoint t] returned [mark] (newest first) and closes that
+    checkpoint.  O(updates since the mark) — independent of tree
+    size.  Raises [Invalid_argument] when no checkpoint is outstanding
+    or the mark does not match the LIFO discipline. *)
+
+val commit : t -> int -> unit
+(** [commit t mark] keeps every update since [mark] and closes the
+    checkpoint.  The journal is retained while outer checkpoints
+    remain open (so an enclosing {!rollback} still undoes the
+    committed inner region) and dropped when the last one closes. *)
+
 val range_max : t -> lo:int -> hi:int -> int
 (** Maximum over [lo, hi); 0 when the range is empty. *)
 

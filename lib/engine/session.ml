@@ -1,0 +1,308 @@
+(* Incremental solve sessions.  The profile is the only geometric
+   state; the slots table maps arrival ids to live placements, so
+   departures and migrations are O(1) table updates plus O(log width)
+   kernel updates.  Bounded-migration trials run inside kernel
+   checkpoints: an abandoned trial is undone by replaying its journal,
+   never by copying the profile. *)
+
+open Dsp_core
+
+let c_arrivals = Dsp_util.Instr.counter Dsp_util.Instr.Sites.session_arrivals
+
+let c_departures =
+  Dsp_util.Instr.counter Dsp_util.Instr.Sites.session_departures
+
+let c_migrations =
+  Dsp_util.Instr.counter Dsp_util.Instr.Sites.session_migrations
+
+let c_trials =
+  Dsp_util.Instr.counter Dsp_util.Instr.Sites.session_migration_trials
+
+type slot = Empty | Live of Item.t * int | Gone of Item.t
+
+type entry =
+  | Arrived of { id : int; start : int; migrations : (int * int) list }
+  | Departed of { id : int; start : int }
+
+type t = {
+  swidth : int;
+  sprofile : Profile.t;
+  mutable slots : slot array;
+  mutable n_arrived : int;
+  mutable n_live : int;
+  mutable n_departed : int;
+  mutable n_migrations : int;
+  mutable entries : entry list; (* newest first *)
+  mutable spolicy : policy;
+}
+
+and placement = { start : int; migrations : (int * int) list }
+
+and policy = {
+  pname : string;
+  pdoc : string;
+  place : budget:Dsp_util.Budget.t option -> t -> Item.t -> placement;
+}
+
+let width t = t.swidth
+let policy t = t.spolicy
+let profile t = t.sprofile
+let peak t = Profile.peak t.sprofile
+
+let start_of t id =
+  if id < 0 || id >= t.n_arrived then None
+  else match t.slots.(id) with Live (_, s) -> Some s | Empty | Gone _ -> None
+
+let set_start t id s =
+  if id < 0 || id >= t.n_arrived then
+    invalid_arg "Session.set_start: unknown id";
+  match t.slots.(id) with
+  | Live (it, _) -> t.slots.(id) <- Live (it, s)
+  | Empty | Gone _ -> invalid_arg "Session.set_start: item not live"
+
+let live_items t =
+  let acc = ref [] in
+  for id = t.n_arrived - 1 downto 0 do
+    match t.slots.(id) with
+    | Live (it, s) -> acc := (id, it, s) :: !acc
+    | Empty | Gone _ -> ()
+  done;
+  !acc
+
+(* ----- built-in policies -------------------------------------------- *)
+
+(* Leftmost window whose peak is minimal; total because items are
+   validated against the strip width before placement. *)
+let best_start_exn p (it : Item.t) =
+  match Profile.best_start p ~len:it.w with
+  | Some (s, _) -> s
+  | None -> invalid_arg "Session: item wider than the strip"
+
+let first_fit =
+  {
+    pname = "first-fit";
+    pdoc =
+      "leftmost start keeping the peak at max(current peak, item height); \
+       best window as fallback";
+    place =
+      (fun ~budget:_ t it ->
+        let p = t.sprofile in
+        let limit = max (Profile.peak p) it.h in
+        let s =
+          match Profile.first_fit_start p ~len:it.w ~height:it.h ~budget:limit with
+          | Some s -> s
+          | None -> best_start_exn p it
+        in
+        Profile.add_item p it ~start:s;
+        { start = s; migrations = [] });
+  }
+
+let best_fit_place ~budget:_ t (it : Item.t) =
+  let p = t.sprofile in
+  let s = best_start_exn p it in
+  Profile.add_item p it ~start:s;
+  { start = s; migrations = [] }
+
+let best_fit =
+  {
+    pname = "best-fit";
+    pdoc = "leftmost start minimizing the item's window peak (best_start)";
+    place = best_fit_place;
+  }
+
+(* Live items whose span covers [col], the tallest first: removing a
+   tall culprit from the peak column is the move most likely to lower
+   the global peak. *)
+let covering t col =
+  let acc = ref [] in
+  for id = t.n_arrived - 1 downto 0 do
+    match t.slots.(id) with
+    | Live (it, s) when s <= col && col < s + it.Item.w ->
+        acc := (id, it, s) :: !acc
+    | _ -> ()
+  done;
+  List.sort
+    (fun (_, (a : Item.t), _) (_, (b : Item.t), _) -> compare b.h a.h)
+    !acc
+
+(* One repair move: find a live item under the peak column that can be
+   re-placed first-fit with its window peak under [pk - 1], and keep
+   the move iff the global peak strictly drops.  Trials are
+   transactional (kernel checkpoint), so a rejected candidate costs
+   only its own updates. *)
+let try_repair t pk =
+  let p = t.sprofile in
+  match Profile.peak_column p with
+  | None -> None
+  | Some col ->
+      let rec attempt = function
+        | [] -> None
+        | (id, (it : Item.t), cur) :: rest -> (
+            Dsp_util.Instr.bump c_trials;
+            let mark = Profile.checkpoint p in
+            Profile.remove_item p it ~start:cur;
+            match Profile.first_fit_start p ~len:it.w ~height:it.h ~budget:(pk - 1) with
+            | Some dest -> (
+                Profile.add_item p it ~start:dest;
+                if Profile.peak p < pk then begin
+                  Profile.commit p mark;
+                  set_start t id dest;
+                  Dsp_util.Instr.bump c_migrations;
+                  Some (id, dest)
+                end
+                else begin
+                  Profile.rollback p mark;
+                  attempt rest
+                end)
+            | None ->
+                Profile.rollback p mark;
+                attempt rest)
+      in
+      attempt (covering t col)
+
+let bounded_migration ~k =
+  if k < 0 then invalid_arg "Session.bounded_migration: k must be >= 0";
+  {
+    pname = Printf.sprintf "migrate-%d" k;
+    pdoc =
+      Printf.sprintf
+        "best-fit, then up to %d repair moves of placed items while the peak \
+         improves"
+        k;
+    place =
+      (fun ~budget t it ->
+        let pl = best_fit_place ~budget t it in
+        let migs = ref [] and n = ref 0 and improving = ref true in
+        while !n < k && !improving do
+          Dsp_util.Budget.poll_opt budget;
+          let pk = Profile.peak t.sprofile in
+          if pk <= it.h then improving := false
+          else
+            match try_repair t pk with
+            | Some mv ->
+                migs := mv :: !migs;
+                incr n
+            | None -> improving := false
+        done;
+        { pl with migrations = List.rev !migs });
+  }
+
+let policies ~k = [ first_fit; best_fit; bounded_migration ~k ]
+
+let find_policy ?(k = 1) name =
+  match name with
+  | "first-fit" -> Some first_fit
+  | "best-fit" -> Some best_fit
+  | "migrate" -> Some (bounded_migration ~k)
+  | _ -> None
+
+(* ----- lifecycle ---------------------------------------------------- *)
+
+let create ?(policy = best_fit) ~width () =
+  if width < 1 then invalid_arg "Session.create: width must be >= 1";
+  {
+    swidth = width;
+    sprofile = Profile.create width;
+    slots = Array.make 16 Empty;
+    n_arrived = 0;
+    n_live = 0;
+    n_departed = 0;
+    n_migrations = 0;
+    entries = [];
+    spolicy = policy;
+  }
+
+let reset t =
+  Profile.reset t.sprofile;
+  Array.fill t.slots 0 (Array.length t.slots) Empty;
+  t.n_arrived <- 0;
+  t.n_live <- 0;
+  t.n_departed <- 0;
+  t.n_migrations <- 0;
+  t.entries <- []
+
+let ensure_capacity t n =
+  let cap = Array.length t.slots in
+  if n > cap then begin
+    let grown = Array.make (max n (2 * cap)) Empty in
+    Array.blit t.slots 0 grown 0 cap;
+    t.slots <- grown
+  end
+
+let arrive ?budget t ~w ~h =
+  (* Mirror Io's hardened checks so a hand-built event stream fails
+     exactly like a malformed trace file. *)
+  if w < 1 || h < 1 then
+    invalid_arg
+      (Printf.sprintf "Session.arrive: dimensions must be >= 1, got %d x %d" w h);
+  if w > t.swidth then
+    invalid_arg
+      (Printf.sprintf
+         "Session.arrive: demand %d exceeds the strip width %d" w t.swidth);
+  let id = t.n_arrived in
+  let it = Item.make ~id ~w ~h in
+  let pl = t.spolicy.place ~budget t it in
+  ensure_capacity t (id + 1);
+  t.slots.(id) <- Live (it, pl.start);
+  t.n_arrived <- id + 1;
+  t.n_live <- t.n_live + 1;
+  t.n_migrations <- t.n_migrations + List.length pl.migrations;
+  t.entries <-
+    Arrived { id; start = pl.start; migrations = pl.migrations } :: t.entries;
+  Dsp_util.Instr.bump c_arrivals;
+  id
+
+let depart t id =
+  if id < 0 || id >= t.n_arrived then
+    invalid_arg
+      (Printf.sprintf "Session.depart: arrival %d has not arrived" id);
+  match t.slots.(id) with
+  | Live (it, s) ->
+      Profile.remove_item t.sprofile it ~start:s;
+      t.slots.(id) <- Gone it;
+      t.n_live <- t.n_live - 1;
+      t.n_departed <- t.n_departed + 1;
+      t.entries <- Departed { id; start = s } :: t.entries;
+      Dsp_util.Instr.bump c_departures
+  | Gone _ ->
+      invalid_arg
+        (Printf.sprintf "Session.depart: arrival %d already departed" id)
+  | Empty ->
+      invalid_arg
+        (Printf.sprintf "Session.depart: arrival %d has not arrived" id)
+
+let snapshot t =
+  let live = live_items t in
+  let dims = List.map (fun (_, (it : Item.t), _) -> (it.w, it.h)) live in
+  let inst = Instance.of_dims ~width:t.swidth dims in
+  let starts = Array.of_list (List.map (fun (_, _, s) -> s) live) in
+  Packing.make inst starts
+
+let apply ?budget t (ev : Dsp_instance.Trace.event) =
+  match ev with
+  | Dsp_instance.Trace.Arrive { w; h } -> ignore (arrive ?budget t ~w ~h)
+  | Dsp_instance.Trace.Depart { arrival } -> depart t arrival
+
+let replay ?policy ?budget (tr : Dsp_instance.Trace.t) =
+  let t = create ?policy ~width:tr.Dsp_instance.Trace.width () in
+  List.iter (apply ?budget t) tr.Dsp_instance.Trace.events;
+  t
+
+let log t = List.rev t.entries
+
+type stats = {
+  arrivals : int;
+  departures : int;
+  live : int;
+  migrations : int;
+  peak_now : int;
+}
+
+let stats t =
+  {
+    arrivals = t.n_arrived;
+    departures = t.n_departed;
+    live = t.n_live;
+    migrations = t.n_migrations;
+    peak_now = peak t;
+  }

@@ -39,3 +39,15 @@ val pts_to_string : Pts.Inst.t -> string
 val pts_of_string : string -> (Pts.Inst.t, error) result
 val write_file : string -> string -> unit
 val read_file : string -> string
+
+(** {2 Parsing toolkit}
+
+    Shared by {!Trace}'s parser so every line-oriented format in this
+    library reports errors the same way. *)
+
+val relevant_lines : string -> (int * string) list
+(** Non-blank, non-comment lines paired with their 1-based position in
+    the original text. *)
+
+val tokens : string -> string list
+(** Whitespace-split tokens of one line. *)

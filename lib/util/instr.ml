@@ -46,6 +46,13 @@ module Sites = struct
   let approx54_guesses = "approx54.guesses"
   let approx54_attempts = "approx54.attempts"
 
+  (* Incremental session events and bounded-migration work
+     (lib/engine/session.ml). *)
+  let session_arrivals = "session.arrivals"
+  let session_departures = "session.departures"
+  let session_migrations = "session.migrations"
+  let session_migration_trials = "session.migration_trials"
+
   let all =
     [
       segtree_range_add;
@@ -61,6 +68,10 @@ module Sites = struct
       simplex_pivots;
       approx54_guesses;
       approx54_attempts;
+      session_arrivals;
+      session_departures;
+      session_migrations;
+      session_migration_trials;
     ]
 
   let mem name = List.mem name all

@@ -49,6 +49,10 @@ module Sites : sig
   val simplex_pivots : string
   val approx54_guesses : string
   val approx54_attempts : string
+  val session_arrivals : string
+  val session_departures : string
+  val session_migrations : string
+  val session_migration_trials : string
 
   val all : string list
   (** Every canonical site name, in registration order. *)

@@ -2,10 +2,11 @@
 # Tier-1 verify plus smoke runs of the perf and robustness paths:
 # build, unit/property tests (including the kernel differential
 # suite), a tiny kernel ablation to catch perf-path regressions that
-# type-check but break at runtime, and a fault-injection smoke that
+# type-check but break at runtime, a fault-injection smoke that
 # proves injected crashes are caught at the engine boundary — typed
 # failures, never a segfault or a hang (everything runs under
-# timeout).
+# timeout) — and an online-session smoke that replays a tiny trace
+# under every placement policy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,6 +66,25 @@ timeout 60 dune exec bin/dsp_cli.exe -- \
   solve --fallback exact-bb,approx54,bfd-height \
   --inject "bb.nodes:raise" --timeout-ms 2000 "$inst" >/dev/null
 echo "ok: fallback chain stays total under injection"
+
+# --- online-session smoke --------------------------------------------
+# Generate a tiny churn trace, replay it under every policy, and
+# require each replay to validate its final packing; then run the
+# CI-sized online bench experiment (competitive ratios, latency
+# percentiles) end to end.
+trc=$(mktemp -t online-smoke.XXXXXX.trace)
+trap 'rm -f "$inst" "$trc"' EXIT
+dune exec bin/dsp_cli.exe -- trace --kind churn -n 20 --width 24 --seed 5 > "$trc"
+for policy in first-fit best-fit migrate; do
+  timeout 60 dune exec bin/dsp_cli.exe -- \
+    online --trace "$trc" --policy "$policy" --migration-k 2 \
+    | grep -q "final packing: valid" \
+    || { echo "FAIL: online --policy $policy did not validate" >&2; exit 1; }
+  echo "ok: online replay validates under $policy"
+done
+BENCH_JSON=none DSP_BENCH_RESULTS=none \
+  timeout 120 dune exec bench/main.exe -- online-smoke >/dev/null
+echo "ok: online-smoke bench experiment completes"
 
 # --- multicore smoke (--jobs 2) --------------------------------------
 # Race the fallback chain on a 2-domain pool: must return a validated

@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline=bench/results/baseline-kernel-smoke.json
+baseline="${DSP_GATE_BASELINE:-bench/results/baseline-kernel-smoke.json}"
 if [ ! -f "$baseline" ]; then
   echo "perf_gate: missing $baseline (see header for how to record one)" >&2
   exit 2
@@ -29,4 +29,4 @@ DSP_BENCH_REPS="${DSP_BENCH_REPS:-3}" DSP_BENCH_RESULTS=none \
   BENCH_JSON="$candidate" \
   timeout 300 dune exec bench/main.exe -- kernel-smoke
 
-dune exec bench/gate.exe -- "$baseline" "$candidate"
+dune exec bench/gate.exe -- --baseline "$baseline" "$candidate"

@@ -196,6 +196,181 @@ let flat_vs_boxed_stream () =
       Alcotest.failf "instance %d: final arrays differ" i
   done
 
+(* ---- add/remove inverses across the three kernels ---- *)
+
+(* Range adds commute, so removing a set of placements in any order
+   must return every kernel to its pre-placement state.  Drives the
+   flat kernel, the retained Boxed kernel, the segtree Profile, and
+   the naive reference with the same stream. *)
+let add_remove_inverse () =
+  for i = 1 to 20 do
+    let rng = Rng.create (51_000 + i) in
+    let width = Rng.int_in rng 1 80 in
+    let t = Segtree.create width and b = Segtree.Boxed.create width in
+    let p = Profile.create width and q = Profile.Naive.create width in
+    let n = Rng.int_in rng 1 40 in
+    let ops =
+      Array.init n (fun _ ->
+          let s = Rng.int rng width in
+          let l = Rng.int rng (width - s + 1) in
+          let h = Rng.int_in rng 0 9 in
+          (s, l, h))
+    in
+    let apply sign (s, l, h) =
+      Segtree.range_add t ~lo:s ~hi:(s + l) (sign * h);
+      Segtree.Boxed.range_add b ~lo:s ~hi:(s + l) (sign * h);
+      Profile.add p ~start:s ~len:l ~height:(sign * h);
+      Profile.Naive.add q ~start:s ~len:l ~height:(sign * h)
+    in
+    Array.iter (apply 1) ops;
+    Rng.shuffle rng ops;
+    Array.iter (apply (-1)) ops;
+    let zeros = Array.to_list (Array.make width 0) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "instance %d: flat cancels" i)
+      zeros
+      (Array.to_list (Segtree.to_array t));
+    Alcotest.(check (list int))
+      (Printf.sprintf "instance %d: boxed cancels" i)
+      zeros
+      (Array.to_list (Segtree.Boxed.to_array b));
+    Alcotest.(check (list int))
+      (Printf.sprintf "instance %d: profile cancels" i)
+      zeros
+      (Array.to_list (Profile.to_array p));
+    Alcotest.(check (list int))
+      (Printf.sprintf "instance %d: naive cancels" i)
+      zeros
+      (Array.to_list (Profile.Naive.to_array q));
+    Alcotest.(check int)
+      (Printf.sprintf "instance %d: peak back to zero" i)
+      0 (Profile.peak p)
+  done
+
+(* Item-level inverse: add_item / remove_item on a non-empty base
+   state restores the exact base profile, removals in shuffled
+   order. *)
+let item_add_remove_inverse () =
+  for i = 1 to 20 do
+    let rng = Rng.create (53_000 + i) in
+    let width = Rng.int_in rng 2 60 in
+    let p = Profile.create width in
+    for _ = 1 to Rng.int rng 10 do
+      let s = Rng.int rng width in
+      let l = Rng.int rng (width - s + 1) in
+      Profile.add p ~start:s ~len:l ~height:(Rng.int rng 6)
+    done;
+    let base = Array.copy (Profile.to_array p) in
+    let items =
+      Array.init
+        (Rng.int_in rng 1 25)
+        (fun id ->
+          let w = Rng.int_in rng 1 width in
+          let it = Item.make ~id ~w ~h:(Rng.int_in rng 1 9) in
+          (it, Rng.int rng (width - w + 1)))
+    in
+    Array.iter (fun (it, s) -> Profile.add_item p it ~start:s) items;
+    Rng.shuffle rng items;
+    Array.iter (fun (it, s) -> Profile.remove_item p it ~start:s) items;
+    Alcotest.(check (list int))
+      (Printf.sprintf "instance %d: items cancel over base" i)
+      (Array.to_list base)
+      (Array.to_list (Profile.to_array p))
+  done
+
+(* ---- checkpoint / rollback journal ---- *)
+
+let snap t = Array.copy (Segtree.to_array t)
+
+let random_adds rng t width n =
+  for _ = 1 to n do
+    let lo = Rng.int rng width in
+    let hi = lo + Rng.int rng (width - lo + 1) in
+    Segtree.range_add t ~lo ~hi (Rng.int_in rng (-4) 9)
+  done
+
+(* Nested checkpoints under the LIFO discipline: each rollback must
+   restore the exact array state at its checkpoint; a commit keeps the
+   state and, at depth 0, drains the journal.  Cross-checked against
+   Boxed on the query surface after rollback, because rollback goes
+   through the same lazy-add path as forward updates. *)
+let checkpoint_rollback_nested () =
+  for i = 1 to 24 do
+    let rng = Rng.create (52_000 + i) in
+    let width = Rng.int_in rng 1 100 in
+    let t = Segtree.create width in
+    random_adds rng t width (Rng.int rng 25);
+    let s0 = snap t in
+    let m0 = Segtree.checkpoint t in
+    random_adds rng t width 10;
+    let s1 = snap t in
+    let m1 = Segtree.checkpoint t in
+    random_adds rng t width 10;
+    Segtree.rollback t m1;
+    Alcotest.(check (list int))
+      (Printf.sprintf "instance %d: inner rollback restores" i)
+      (Array.to_list s1)
+      (Array.to_list (snap t));
+    random_adds rng t width 5;
+    Segtree.rollback t m0;
+    Alcotest.(check (list int))
+      (Printf.sprintf "instance %d: outer rollback restores" i)
+      (Array.to_list s0)
+      (Array.to_list (snap t));
+    (* Commit path: the journalled state survives and queries agree
+       with a Boxed rebuild of the final array. *)
+    let m = Segtree.checkpoint t in
+    random_adds rng t width 8;
+    let s2 = snap t in
+    Segtree.commit t m;
+    Alcotest.(check (list int))
+      (Printf.sprintf "instance %d: commit keeps state" i)
+      (Array.to_list s2)
+      (Array.to_list (snap t));
+    let b = Segtree.Boxed.of_array (snap t) in
+    Alcotest.(check bool)
+      (Printf.sprintf "instance %d: queries agree after journal churn" i)
+      true
+      (Segtree.max_all t = Segtree.Boxed.max_all b
+      && Segtree.best_start t ~len:1 = Segtree.Boxed.best_start b ~len:1)
+  done
+
+let checkpoint_discipline () =
+  let t = Segtree.create 8 in
+  let raises f =
+    match f () with () -> false | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "rollback without checkpoint rejected" true
+    (raises (fun () -> Segtree.rollback t 0));
+  Alcotest.(check bool) "commit without checkpoint rejected" true
+    (raises (fun () -> Segtree.commit t 0));
+  let m = Segtree.checkpoint t in
+  Segtree.range_add t ~lo:1 ~hi:5 3;
+  Alcotest.(check bool) "bad mark rejected" true
+    (raises (fun () -> Segtree.rollback t 1));
+  Segtree.rollback t m;
+  Alcotest.(check (list int))
+    "clean after discipline churn"
+    (Array.to_list (Array.make 8 0))
+    (Array.to_list (Segtree.to_array t));
+  (* [copy] carries the open journal: rolling back the copy must not
+     disturb the source. *)
+  let m = Segtree.checkpoint t in
+  Segtree.range_add t ~lo:0 ~hi:8 2;
+  let c = Segtree.copy t in
+  Segtree.rollback c m;
+  Alcotest.(check int) "copy rolled back" 0 (Segtree.max_all c);
+  Alcotest.(check int) "source untouched" 2 (Segtree.max_all t);
+  Segtree.commit t m;
+  (* [reset] clears values and journal state in place. *)
+  let m = Segtree.checkpoint t in
+  Segtree.range_add t ~lo:2 ~hi:6 9;
+  ignore m;
+  Segtree.reset t;
+  Alcotest.(check int) "reset clears values" 0 (Segtree.max_all t);
+  Alcotest.(check bool) "reset clears outstanding checkpoints" true
+    (raises (fun () -> Segtree.rollback t 0))
+
 (* ---- int-boundary and overflow-guard cases ---- *)
 
 (* Both kernels carry the same O(1) root guard: a positive range_add
@@ -286,6 +461,14 @@ let suite =
       differential_stream;
     Alcotest.test_case "flat matches Boxed (24 instances x 800 ops)" `Quick
       flat_vs_boxed_stream;
+    Alcotest.test_case "add/remove inverses across kernels (20 instances)"
+      `Quick add_remove_inverse;
+    Alcotest.test_case "item add/remove inverse over a base profile" `Quick
+      item_add_remove_inverse;
+    Alcotest.test_case "nested checkpoint/rollback restores exact state" `Quick
+      checkpoint_rollback_nested;
+    Alcotest.test_case "checkpoint discipline: marks, copy, reset" `Quick
+      checkpoint_discipline;
     Alcotest.test_case "overflow guards and int-boundary thresholds" `Quick
       overflow_guard_cases;
     Alcotest.test_case "copy interleaved with dirty-tracked flattens" `Quick

@@ -22,6 +22,7 @@ let () =
       ("restructure", Test_restructure.suite);
       ("budget-fit", Test_budget_fit.suite);
       ("engine", Test_engine.suite);
+      ("session", Test_session.suite);
       ("runner", Test_runner.suite);
       ("parallel", Test_parallel.suite);
       ("bench", Test_bench.suite);

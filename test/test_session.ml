@@ -1,0 +1,263 @@
+(* Incremental sessions and traces: parsing round-trips with typed
+   errors, and the replay differentials that pin the session to the
+   batch pipeline — an arrivals-only replay must leave exactly the
+   profile of the equivalent batch placement, and after any
+   depart/arrive interleaving the live profile must equal a
+   from-scratch rebuild of the surviving placements. *)
+
+open Dsp_core
+module Rng = Dsp_util.Rng
+module Trace = Dsp_instance.Trace
+module Session = Dsp_engine.Session
+
+let policies = Session.policies ~k:2 @ [ Session.bounded_migration ~k:0 ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let random_trace rng =
+  match Rng.int rng 3 with
+  | 0 ->
+      Trace.churn rng
+        ~width:(Rng.int_in rng 2 60)
+        ~n:(Rng.int_in rng 1 50)
+  | 1 ->
+      Trace.smartgrid rng
+        ~households:(Rng.int_in rng 1 6)
+        ~departures:(Rng.int rng 2 = 0)
+  | _ -> Trace.gap_arrivals rng ~scale:(Rng.int_in rng 1 3)
+
+(* ---- trace format ---- *)
+
+let trace_round_trip () =
+  for i = 1 to 30 do
+    let rng = Rng.create (61_000 + i) in
+    let tr = random_trace rng in
+    (match Trace.validate tr with
+    | Ok () -> ()
+    | Error e ->
+        Alcotest.failf "trace %d: generator emitted invalid trace: %s" i
+          (Trace.error_to_string e));
+    match Trace.of_string (Trace.to_string tr) with
+    | Error e ->
+        Alcotest.failf "trace %d: round-trip failed: %s" i
+          (Trace.error_to_string e)
+    | Ok tr' ->
+        if tr' <> tr then Alcotest.failf "trace %d: round-trip changed it" i
+  done
+
+let parse_error input expect =
+  match Trace.of_string input with
+  | Ok _ -> Alcotest.failf "accepted malformed input %S" input
+  | Error e ->
+      let msg = Trace.error_to_string e in
+      if not (contains msg expect) then
+        Alcotest.failf "%S: error %S does not mention %S" input msg expect
+
+let trace_errors () =
+  parse_error "" "empty";
+  parse_error "# only comments\n" "empty";
+  parse_error "width 5\n+ 1 1\n" "bad header";
+  parse_error "trace x\n" "not an integer";
+  parse_error "trace 0\n" "width must be >= 1";
+  parse_error "trace 5\n+ 1\n" "expected";
+  parse_error "trace 5\n+ 1 z\n" "not an integer";
+  parse_error "trace 5\n+ 0 3\n" "dimensions must be >= 1";
+  parse_error "trace 5\n+ 6 3\n" "exceeds the capacity";
+  parse_error "trace 5\n+ 1 1\n- 1\n" "has not arrived";
+  parse_error "trace 5\n+ 1 1\n- 0\n- 0\n" "already departed";
+  (* Errors carry the 1-based source line, counted over the raw
+     input including comments and blanks. *)
+  match Trace.of_string "trace 4\n# fine so far\n+ 2 2\n\n- 3\n" with
+  | Error { line = 5; kind = Trace.Unknown_arrival 3 } -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Trace.error_to_string e)
+  | Ok _ -> Alcotest.fail "accepted dangling departure"
+
+(* ---- replay differentials ---- *)
+
+(* The live profile of a session, rebuilt from scratch: place every
+   surviving item at its recorded start on a fresh profile. *)
+let rebuilt_profile s =
+  let p = Profile.create (Session.width s) in
+  List.iter
+    (fun (_, it, start) -> Profile.add_item p it ~start)
+    (Session.live_items s);
+  p
+
+let check_session_consistent ~ctx s =
+  let live = Session.live_items s in
+  let q = rebuilt_profile s in
+  if Profile.to_array (Session.profile s) <> Profile.to_array q then
+    Alcotest.failf "%s: live profile differs from from-scratch rebuild" ctx;
+  if Session.peak s <> Profile.peak q then
+    Alcotest.failf "%s: peak %d <> rebuilt %d" ctx (Session.peak s)
+      (Profile.peak q);
+  let st = Session.stats s in
+  if st.Session.live <> List.length live then
+    Alcotest.failf "%s: stats.live %d <> %d" ctx st.Session.live
+      (List.length live);
+  match Packing.validate (Session.snapshot s) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: snapshot invalid: %s" ctx msg
+
+let arrivals_only_matches_batch () =
+  List.iter
+    (fun policy ->
+      for i = 1 to 15 do
+        let rng = Rng.create (62_000 + i) in
+        let inst =
+          Dsp_instance.Generators.uniform rng
+            ~n:(1 + Rng.int rng 30)
+            ~width:(Rng.int_in rng 3 50)
+            ~max_w:3 ~max_h:9
+        in
+        let tr = Trace.of_instance inst in
+        let s = Session.replay ~policy tr in
+        let ctx =
+          Printf.sprintf "policy %s instance %d" policy.Session.pname i
+        in
+        check_session_consistent ~ctx s;
+        (* Arrivals only: the session profile must be exactly
+           [Profile.of_starts] of the batch placement it implies. *)
+        let pk = Session.snapshot s in
+        let batch = Profile.of_starts (Packing.instance pk) (Packing.starts pk) in
+        if Profile.to_array (Session.profile s) <> Profile.to_array batch then
+          Alcotest.failf "%s: profile differs from batch of_starts" ctx;
+        if Session.peak s <> Packing.height pk then
+          Alcotest.failf "%s: peak differs from packing height" ctx
+      done)
+    policies
+
+let churn_matches_rebuild () =
+  List.iter
+    (fun policy ->
+      for i = 1 to 15 do
+        let rng = Rng.create (63_000 + i) in
+        let tr = random_trace rng in
+        let s = Session.replay ~policy tr in
+        check_session_consistent
+          ~ctx:(Printf.sprintf "policy %s trace %d" policy.Session.pname i)
+          s;
+        let st = Session.stats s in
+        Alcotest.(check int)
+          "arrivals counted" (Trace.n_arrivals tr)
+          st.Session.arrivals;
+        Alcotest.(check int)
+          "departures counted" (Trace.n_departures tr)
+          st.Session.departures
+      done)
+    policies
+
+(* Per-event consistency on one interleaved stream, including manual
+   arrive/depart calls outside [replay]. *)
+let stepwise_consistency () =
+  let rng = Rng.create 64_001 in
+  let s = Session.create ~policy:(Session.bounded_migration ~k:2) ~width:30 () in
+  for step = 1 to 120 do
+    let live = Session.live_items s in
+    if live <> [] && Rng.int rng 3 = 0 then begin
+      let id, _, _ = List.nth live (Rng.int rng (List.length live)) in
+      Session.depart s id
+    end
+    else
+      ignore
+        (Session.arrive s ~w:(Rng.int_in rng 1 10) ~h:(Rng.int_in rng 1 8));
+    if step mod 10 = 0 then
+      check_session_consistent ~ctx:(Printf.sprintf "step %d" step) s
+  done;
+  Session.reset s;
+  Alcotest.(check int) "reset clears peak" 0 (Session.peak s);
+  Alcotest.(check int) "reset clears items" 0
+    (List.length (Session.live_items s));
+  ignore (Session.arrive s ~w:3 ~h:2);
+  check_session_consistent ~ctx:"after reset" s
+
+(* ---- policy contracts ---- *)
+
+(* k = 0 disables repair entirely, so migrate-0 must be placement-
+   for-placement identical to best-fit. *)
+let migrate0_equals_best_fit () =
+  for i = 1 to 15 do
+    let rng = Rng.create (65_000 + i) in
+    let tr = random_trace rng in
+    let a = Session.replay ~policy:Session.best_fit tr in
+    let b = Session.replay ~policy:(Session.bounded_migration ~k:0) tr in
+    if
+      List.map (fun (id, _, s) -> (id, s)) (Session.live_items a)
+      <> List.map (fun (id, _, s) -> (id, s)) (Session.live_items b)
+    then Alcotest.failf "trace %d: migrate-0 diverged from best-fit" i;
+    Alcotest.(check int) "same migration count" 0
+      (Session.stats b).Session.migrations
+  done
+
+let migration_budget_respected () =
+  List.iter
+    (fun k ->
+      let policy = Session.bounded_migration ~k in
+      for i = 1 to 10 do
+        let rng = Rng.create (66_000 + i) in
+        let tr = random_trace rng in
+        let s = Session.replay ~policy tr in
+        List.iter
+          (function
+            | Session.Arrived { migrations; _ } ->
+                if List.length migrations > k then
+                  Alcotest.failf "k=%d trace %d: arrival moved %d items" k i
+                    (List.length migrations)
+            | Session.Departed _ -> ())
+          (Session.log s);
+        (* The log replays to the session's final placements. *)
+        let starts = Hashtbl.create 16 in
+        List.iter
+          (function
+            | Session.Arrived { id; start; migrations } ->
+                Hashtbl.replace starts id start;
+                List.iter
+                  (fun (mid, ms) -> Hashtbl.replace starts mid ms)
+                  migrations
+            | Session.Departed { id; _ } -> Hashtbl.remove starts id)
+          (Session.log s);
+        List.iter
+          (fun (id, _, start) ->
+            if Hashtbl.find_opt starts id <> Some start then
+              Alcotest.failf "k=%d trace %d: log start of %d disagrees" k i id)
+          (Session.live_items s)
+      done)
+    [ 0; 1; 3 ]
+
+let arrive_rejects_bad_dims () =
+  let s = Session.create ~width:10 () in
+  let rejects f =
+    match f () with
+    | (_ : int) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "w = 0" true
+    (rejects (fun () -> Session.arrive s ~w:0 ~h:3));
+  Alcotest.(check bool) "h = 0" true
+    (rejects (fun () -> Session.arrive s ~w:3 ~h:0));
+  Alcotest.(check bool) "too wide" true
+    (rejects (fun () -> Session.arrive s ~w:11 ~h:3));
+  Alcotest.(check int) "session unharmed" 0 (Session.peak s)
+
+let suite =
+  [
+    Alcotest.test_case "trace to_string/of_string round-trips" `Quick
+      trace_round_trip;
+    Alcotest.test_case "trace parse errors are typed and line-numbered" `Quick
+      trace_errors;
+    Alcotest.test_case "arrivals-only replay equals batch of_starts" `Quick
+      arrivals_only_matches_batch;
+    Alcotest.test_case "churn replay equals from-scratch rebuild" `Quick
+      churn_matches_rebuild;
+    Alcotest.test_case "stepwise arrive/depart consistency and reset" `Quick
+      stepwise_consistency;
+    Alcotest.test_case "migrate-0 is exactly best-fit" `Quick
+      migrate0_equals_best_fit;
+    Alcotest.test_case "migration budget and log replay" `Quick
+      migration_budget_respected;
+    Alcotest.test_case "arrive mirrors Io's dimension checks" `Quick
+      arrive_rejects_bad_dims;
+  ]

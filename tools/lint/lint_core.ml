@@ -229,6 +229,7 @@ let project_config ~root =
               "range_add";
               (* flat kernel hot paths (range_add is shared by name) *)
               "apply_add";
+              "apply_range";
               "pull";
               "range_max";
               "descend_above";
