@@ -1,4 +1,4 @@
-(* Machine-readable benchmark output (schema dsp-bench/5).
+(* Machine-readable benchmark output (schema dsp-bench/6).
 
    Experiments register metrics (wall-clock seconds, peak heights,
    node counts, speedups) under their experiment id while they run;
@@ -29,7 +29,14 @@
    percentile groups next to the "gc" groups), and the canonical
    "seed" metric every randomized experiment records — the
    DSP_BENCH_SEED offset the run was generated with, so a results file
-   pins the exact workload it measured. *)
+   pins the exact workload it measured.
+
+   Schema v6 (same container, new vocabulary) adds the serve
+   experiment family: per-variant request throughput ("req_per_s"),
+   round-trip "latency" percentile groups measured through the
+   daemon's socket, and the exact "peak_agree"/"recover_agree"
+   correctness signals the perf gate checks alongside the existing
+   "*agree" metrics. *)
 
 type value =
   | Int of int
@@ -39,18 +46,20 @@ type value =
   | Group of (string * value) list
       (* one level deep: fields must be scalars (enforced on record) *)
 
-let schema_version = "dsp-bench/5"
+let schema_version = "dsp-bench/6"
 
 (* Schema versions [load] accepts: the container shape is identical,
    v3 only adds optional keys, v4 adds one-level metric groups, v5
-   adds the online experiment family and the "seed" metric. *)
+   adds the online experiment family and the "seed" metric, v6 the
+   serve experiment family. *)
 let known_schemas =
-  [ "dsp-bench/2"; "dsp-bench/3"; "dsp-bench/4"; schema_version ]
+  [ "dsp-bench/2"; "dsp-bench/3"; "dsp-bench/4"; "dsp-bench/5";
+    schema_version ]
 
 (* Versions whose files may carry one-level groups (v4 introduced
    them); the loader must keep accepting groups in v4 files after
    later bumps, not just in the current version. *)
-let group_schemas = [ "dsp-bench/4"; schema_version ]
+let group_schemas = [ "dsp-bench/4"; "dsp-bench/5"; schema_version ]
 
 (* Insertion-ordered: experiment ids in run order, metrics in record
    order within an experiment.  The store is shared mutable state and

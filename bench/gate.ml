@@ -11,10 +11,20 @@
      not exceed baseline * (1 + TOLERANCE) once past an absolute floor
      (small timings are pure noise — an 0.002s -> 0.004s move is not a
      2x regression worth failing CI over);
+   - every "*_us" percentile inside a latency group present in both
+     files (the serve experiment's SLA figures): same shape of check
+     with a wider tolerance and a microsecond floor, because tail
+     percentiles of a few hundred socket round trips are noisy —
+     the gate is after order-of-magnitude regressions, not jitter
+     ("max_us" is a single sample and is never gated);
    - "flat_alloc_zero" = 1 and "flat_alloc_words_per_op" below the
-     zero-allocation threshold: the kernel's steady-state allocation
-     invariant is exact, so it gates with no tolerance;
-   - every "*agree" correctness cross-check = 1 in the candidate.
+     zero-allocation threshold, whenever the baseline experiment
+     carries them (the kernel's steady-state allocation invariant is
+     exact, so it gates with no tolerance; experiments without the
+     invariant — serve-smoke — simply don't record the metric);
+   - every "*agree" correctness cross-check = 1 in the candidate
+     (kernel agreement, the serve experiment's peak_agree /
+     recover_agree).
 
    Exit 0 clean, 1 on regression, 2 on usage or unreadable input. *)
 
@@ -23,6 +33,8 @@ open Dsp_bench
 let tolerance = 0.30 (* +30% wall-clock *)
 let abs_floor = 0.05 (* seconds; below this, deltas are noise *)
 let alloc_threshold = 0.01 (* words per kernel op *)
+let lat_tolerance = 2.0 (* +200% on latency percentiles *)
+let lat_floor_us = 500. (* microseconds; tail noise below this *)
 
 let default_baseline =
   Filename.concat
@@ -107,17 +119,56 @@ let () =
         | Some _, None -> fail "FAIL %-28s missing from candidate\n" k
         | None, _ -> ())
     base;
-  (* Allocation invariant: exact, no tolerance. *)
-  (match Option.bind (List.assoc_opt "flat_alloc_words_per_op" cand) as_float with
-  | Some w when w < alloc_threshold ->
-      Printf.printf "ok   %-28s %.6f words/op\n" "flat_alloc_words_per_op" w
-  | Some w ->
-      fail "FAIL %-28s %.6f words/op (steady-state allocation must be ~0)\n"
-        "flat_alloc_words_per_op" w
-  | None -> fail "FAIL flat_alloc_words_per_op missing from candidate\n");
-  (match List.assoc_opt "flat_alloc_zero" cand with
-  | Some (Bench_json.Int 1) -> ()
-  | _ -> fail "FAIL flat_alloc_zero is not 1 in candidate\n");
+  (* Latency percentiles: every "*_us" field of a group both files
+     carry, except the single-sample "max_us".  Wider tolerance and a
+     microsecond floor — tail percentiles over a few hundred socket
+     round trips jitter; the gate is for order-of-magnitude moves. *)
+  List.iter
+    (fun (gk, bv) ->
+      match (bv, List.assoc_opt gk cand) with
+      | Bench_json.Group bfields, Some (Bench_json.Group cfields) ->
+          List.iter
+            (fun (fk, bfv) ->
+              if has_suffix "_us" fk && fk <> "max_us" then
+                let name = gk ^ "." ^ fk in
+                match (as_float bfv, Option.bind (List.assoc_opt fk cfields) as_float) with
+                | Some b, Some c ->
+                    let limit = b *. (1. +. lat_tolerance) in
+                    if c > limit && c -. b > lat_floor_us then
+                      fail
+                        "FAIL %-28s %.1fus vs baseline %.1fus (> +%.0f%% and > %.0fus)\n"
+                        name c b (100. *. lat_tolerance) lat_floor_us
+                    else Printf.printf "ok   %-28s %.1fus (baseline %.1fus)\n" name c b
+                | Some _, None -> fail "FAIL %-28s missing from candidate\n" name
+                | None, _ -> ())
+            bfields
+      | Bench_json.Group _, _ ->
+          (* a whole group the candidate dropped: only gate it when it
+             holds latency fields, silence would hide an SLA metric *)
+          if
+            List.exists
+              (fun (fk, _) -> has_suffix "_us" fk)
+              (match bv with Bench_json.Group f -> f | _ -> [])
+          then fail "FAIL %-28s latency group missing from candidate\n" gk
+      | _ -> ())
+    base;
+  (* Allocation invariant: exact, no tolerance — gated whenever the
+     baseline experiment records it (kernel-smoke does, serve-smoke
+     has no flat kernel loop to measure). *)
+  if List.mem_assoc "flat_alloc_words_per_op" base then begin
+    (match
+       Option.bind (List.assoc_opt "flat_alloc_words_per_op" cand) as_float
+     with
+    | Some w when w < alloc_threshold ->
+        Printf.printf "ok   %-28s %.6f words/op\n" "flat_alloc_words_per_op" w
+    | Some w ->
+        fail "FAIL %-28s %.6f words/op (steady-state allocation must be ~0)\n"
+          "flat_alloc_words_per_op" w
+    | None -> fail "FAIL flat_alloc_words_per_op missing from candidate\n");
+    match List.assoc_opt "flat_alloc_zero" cand with
+    | Some (Bench_json.Int 1) -> ()
+    | _ -> fail "FAIL flat_alloc_zero is not 1 in candidate\n"
+  end;
   (* Correctness cross-checks recorded by the experiment itself. *)
   List.iter
     (fun (k, v) ->

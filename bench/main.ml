@@ -16,6 +16,8 @@
      dune exec bench/main.exe -- parallel     # 1-domain vs N-domain speedups
      dune exec bench/main.exe -- online       # incremental sessions vs offline
      dune exec bench/main.exe -- online-smoke # CI-sized online run
+     dune exec bench/main.exe -- serve        # service daemon over its socket
+     dune exec bench/main.exe -- serve-smoke  # CI-sized daemon run
 
    DSP_JOBS=k runs the coarse experiments k at a time on a domain pool
    (and fans out per-instance work inside E8/E9); timing-sensitive
@@ -31,11 +33,12 @@
    copy of the same data for quick inspection.  BENCH_JSON overrides
    the convenience path, BENCH_JSON=none suppresses it entirely (the
    archive still lands under bench/results/ unless that is disabled
-   too).  The schema is dsp-bench/5:
+   too).  The schema is dsp-bench/6:
    per-experiment wall-clock and status, the metrics individual
    experiments record (kernel speedups and peaks, E4 node counts,
    fault-matrix outcomes, the "parallel" experiment's speedups, the
-   "online" experiment's competitive ratios and latency percentiles),
+   "online" experiment's competitive ratios and latency percentiles,
+   the "serve" experiment's socket throughput and SLA latency groups),
    the per-solver instrumentation counters of the "counters"
    experiment, the one-level "gc"/"latency" sub-records, and the
    "seed" metric every randomized experiment pins (DSP_BENCH_SEED
@@ -64,17 +67,18 @@ let experiments =
   @ Exp_ablation.experiments @ Exp_extensions.experiments
   @ Exp_structure.experiments @ Exp_kernel.experiments @ Exp_micro.experiments
   @ Exp_counters.experiments @ Exp_faults.experiments @ Exp_parallel.experiments
-  @ Exp_online.experiments
+  @ Exp_online.experiments @ Exp_serve.experiments
 
 (* Experiments that must not share the process with concurrent load:
    micro/kernel timings and the parallel experiment's serial-vs-pool
    comparison would be skewed, the counters experiment asserts exact
    Instr deltas for a single solve at a time, the fault matrix arms
-   process-global fault plans, and the online experiment reports
-   per-event latency percentiles. *)
+   process-global fault plans, and the online and serve experiments
+   report per-event / per-request latency percentiles (serve also
+   spawns its own daemon domain). *)
 let serial_only =
   [ "kernel"; "kernel-smoke"; "micro"; "counters"; "faults"; "faults-smoke";
-    "parallel"; "online"; "online-smoke" ]
+    "parallel"; "online"; "online-smoke"; "serve"; "serve-smoke" ]
 
 (* None when BENCH_JSON=none: the bench/results/ archive is the
    canonical record; the root BENCH.json is a convenience copy that

@@ -18,7 +18,7 @@ let c_migrations =
 let c_trials =
   Dsp_util.Instr.counter Dsp_util.Instr.Sites.session_migration_trials
 
-type slot = Empty | Live of Item.t * int | Gone of Item.t
+type slot = Empty | Live of Item.t * int | Gone
 
 type entry =
   | Arrived of { id : int; start : int; migrations : (int * int) list }
@@ -51,21 +51,21 @@ let peak t = Profile.peak t.sprofile
 
 let start_of t id =
   if id < 0 || id >= t.n_arrived then None
-  else match t.slots.(id) with Live (_, s) -> Some s | Empty | Gone _ -> None
+  else match t.slots.(id) with Live (_, s) -> Some s | Empty | Gone -> None
 
 let set_start t id s =
   if id < 0 || id >= t.n_arrived then
     invalid_arg "Session.set_start: unknown id";
   match t.slots.(id) with
   | Live (it, _) -> t.slots.(id) <- Live (it, s)
-  | Empty | Gone _ -> invalid_arg "Session.set_start: item not live"
+  | Empty | Gone -> invalid_arg "Session.set_start: item not live"
 
 let live_items t =
   let acc = ref [] in
   for id = t.n_arrived - 1 downto 0 do
     match t.slots.(id) with
     | Live (it, s) -> acc := (id, it, s) :: !acc
-    | Empty | Gone _ -> ()
+    | Empty | Gone -> ()
   done;
   !acc
 
@@ -252,24 +252,33 @@ let arrive ?budget t ~w ~h =
   Dsp_util.Instr.bump c_arrivals;
   id
 
+type depart_error = Never_arrived of int | Already_departed of int
+
+let depart_error_to_string = function
+  | Never_arrived id ->
+      Printf.sprintf "Session.depart: arrival %d has not arrived" id
+  | Already_departed id ->
+      Printf.sprintf "Session.depart: arrival %d already departed" id
+
+let depart_result t id =
+  if id < 0 || id >= t.n_arrived then Error (Never_arrived id)
+  else
+    match t.slots.(id) with
+    | Live (it, s) ->
+        Profile.remove_item t.sprofile it ~start:s;
+        t.slots.(id) <- Gone;
+        t.n_live <- t.n_live - 1;
+        t.n_departed <- t.n_departed + 1;
+        t.entries <- Departed { id; start = s } :: t.entries;
+        Dsp_util.Instr.bump c_departures;
+        Ok s
+    | Gone -> Error (Already_departed id)
+    | Empty -> Error (Never_arrived id)
+
 let depart t id =
-  if id < 0 || id >= t.n_arrived then
-    invalid_arg
-      (Printf.sprintf "Session.depart: arrival %d has not arrived" id);
-  match t.slots.(id) with
-  | Live (it, s) ->
-      Profile.remove_item t.sprofile it ~start:s;
-      t.slots.(id) <- Gone it;
-      t.n_live <- t.n_live - 1;
-      t.n_departed <- t.n_departed + 1;
-      t.entries <- Departed { id; start = s } :: t.entries;
-      Dsp_util.Instr.bump c_departures
-  | Gone _ ->
-      invalid_arg
-        (Printf.sprintf "Session.depart: arrival %d already departed" id)
-  | Empty ->
-      invalid_arg
-        (Printf.sprintf "Session.depart: arrival %d has not arrived" id)
+  match depart_result t id with
+  | Ok _ -> ()
+  | Error e -> invalid_arg (depart_error_to_string e)
 
 let snapshot t =
   let live = live_items t in
@@ -286,6 +295,50 @@ let apply ?budget t (ev : Dsp_instance.Trace.event) =
 let replay ?policy ?budget (tr : Dsp_instance.Trace.t) =
   let t = create ?policy ~width:tr.Dsp_instance.Trace.width () in
   List.iter (apply ?budget t) tr.Dsp_instance.Trace.events;
+  t
+
+(* Rebuild a session from snapshot state (the WAL's compaction
+   records): explicit placements bypass the policy, so the restored
+   profile is bit-identical to the snapshotted one no matter which
+   policy produced it.  Ids below [n_arrived] that are not listed live
+   are marked departed; the event log restarts empty. *)
+let restore ?(policy = best_fit) ~width ~n_arrived ~n_migrations ~live () =
+  if width < 1 then invalid_arg "Session.restore: width must be >= 1";
+  if n_arrived < 0 then invalid_arg "Session.restore: n_arrived must be >= 0";
+  if n_migrations < 0 then
+    invalid_arg "Session.restore: n_migrations must be >= 0";
+  let t = create ~policy ~width () in
+  ensure_capacity t n_arrived;
+  t.n_arrived <- n_arrived;
+  for id = 0 to n_arrived - 1 do
+    t.slots.(id) <- Gone
+  done;
+  List.iter
+    (fun (id, w, h, start) ->
+      if id < 0 || id >= n_arrived then
+        invalid_arg
+          (Printf.sprintf "Session.restore: live id %d outside [0, %d)" id
+             n_arrived);
+      (match t.slots.(id) with
+      | Gone -> ()
+      | Empty | Live _ ->
+          invalid_arg (Printf.sprintf "Session.restore: duplicate live id %d" id));
+      if w < 1 || h < 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Session.restore: dimensions must be >= 1, got %d x %d" w h);
+      if start < 0 || start + w > width then
+        invalid_arg
+          (Printf.sprintf
+             "Session.restore: item %d at start %d width %d overflows strip %d"
+             id start w width);
+      let it = Item.make ~id ~w ~h in
+      Profile.add_item t.sprofile it ~start;
+      t.slots.(id) <- Live (it, start);
+      t.n_live <- t.n_live + 1)
+    live;
+  t.n_departed <- n_arrived - t.n_live;
+  t.n_migrations <- n_migrations;
   t
 
 let log t = List.rev t.entries

@@ -83,9 +83,23 @@ val arrive : ?budget:Dsp_util.Budget.t -> t -> w:int -> h:int -> int
     outside the strip, mirroring {!Dsp_instance.Io}'s checks.  May
     raise [Dsp_util.Budget.Expired] from a migration loop. *)
 
+(** Why a departure was refused: the id was never handed out by
+    {!arrive}, or its item already departed.  Stale ids are expected
+    input at the service boundary (a client may retry a departure after
+    a reconnect), so they get a typed result instead of an exception. *)
+type depart_error = Never_arrived of int | Already_departed of int
+
+val depart_error_to_string : depart_error -> string
+
+val depart_result : t -> int -> (int, depart_error) result
+(** Remove a live item by id; [Ok start] gives the start the item
+    occupied.  Total: every int is a valid argument. *)
+
 val depart : t -> int -> unit
-(** Remove a live item by id.  Raises [Invalid_argument] if the id
-    never arrived or already departed. *)
+(** {!depart_result}, raising [Invalid_argument] (with the
+    {!depart_error_to_string} message) on a stale id — the in-process
+    convenience used by trace replay, where a stale id means a
+    malformed trace. *)
 
 val peak : t -> int
 (** Current peak of the live profile. *)
@@ -117,6 +131,22 @@ val apply : ?budget:Dsp_util.Budget.t -> t -> Dsp_instance.Trace.event -> unit
 val replay :
   ?policy:policy -> ?budget:Dsp_util.Budget.t -> Dsp_instance.Trace.t -> t
 (** Run a whole trace through a fresh session. *)
+
+val restore :
+  ?policy:policy ->
+  width:int ->
+  n_arrived:int ->
+  n_migrations:int ->
+  live:(int * int * int * int) list ->
+  unit ->
+  t
+(** Rebuild a session from snapshot state — the WAL's compaction path.
+    [live] lists [(id, w, h, start)] for every live item; placements
+    are applied verbatim (no policy involved), so the restored profile
+    equals the snapshotted one exactly.  Ids in [\[0, n_arrived)] not
+    listed live are marked departed; the event log restarts empty.
+    Raises [Invalid_argument] on out-of-range ids, duplicate ids,
+    non-positive dimensions, or a placement overflowing the strip. *)
 
 (** {2 Introspection} *)
 

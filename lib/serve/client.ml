@@ -1,0 +1,77 @@
+(* Blocking NDJSON client.  The retry policy is the protocol's other
+   half: the server sheds load with [overloaded] + retry_after_ms, and
+   this is the client that makes shedding lossless — exponential
+   backoff, deterministic jitter, the server's hint as the floor. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ~path =
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (match Unix.close fd with
+       | () -> ()
+       | exception Unix.Unix_error _ -> ());
+       raise e);
+    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  with
+  | c -> Ok c
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let close c =
+  match close_out c.oc with
+  | () -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) -> (
+      (* flush can fail on a dead peer; the descriptor must still go *)
+      match Unix.close c.fd with
+      | () -> ()
+      | exception Unix.Unix_error _ -> ())
+
+let request c line =
+  match
+    output_string c.oc line;
+    output_char c.oc '\n';
+    flush c.oc;
+    input_line c.ic
+  with
+  | reply -> Protocol.parse_response reply
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error m -> Error m
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let default_retries = 8
+let default_base_delay_ms = 25
+
+let rpc ?(retries = default_retries) ?(base_delay_ms = default_base_delay_ms)
+    ?rng ~path line =
+  let rng =
+    match rng with Some r -> r | None -> Dsp_util.Rng.create 0x5e41e
+  in
+  let backoff attempt ~floor_ms =
+    let base = base_delay_ms * (1 lsl min attempt 10) in
+    (* +/-50% jitter, deterministic from the rng *)
+    let jittered = base / 2 + Dsp_util.Rng.int rng (max 1 (base + 1)) in
+    let ms = max floor_ms jittered in
+    Unix.sleepf (float_of_int ms /. 1000.)
+  in
+  let rec go attempt =
+    let outcome =
+      match connect ~path with
+      | Error m -> Error m
+      | Ok c ->
+          Fun.protect ~finally:(fun () -> close c) (fun () -> request c line)
+    in
+    match outcome with
+    | Ok { Protocol.body = Error (Protocol.Overloaded hint_ms); _ }
+      when attempt < retries ->
+        backoff attempt ~floor_ms:hint_ms;
+        go (attempt + 1)
+    | Error _ when attempt < retries ->
+        backoff attempt ~floor_ms:0;
+        go (attempt + 1)
+    | outcome -> outcome
+  in
+  go 0

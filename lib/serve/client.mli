@@ -1,0 +1,37 @@
+(** Client side of the NDJSON service protocol, with the retry
+    discipline overload shedding expects.
+
+    {!request} is the bare one-line round trip.  {!rpc} is the
+    well-behaved client the smoke driver and the bench harness use: on
+    a connection failure (daemon still starting, restarting after a
+    crash) or a typed [overloaded] response it backs off exponentially
+    with deterministic jitter drawn from {!Dsp_util.Rng} — honoring
+    the server's [retry_after_ms] hint as the floor — and retries,
+    so a shed request is delayed, not lost, and a thundering herd
+    spreads out instead of re-arriving in lockstep. *)
+
+type t
+
+val connect : path:string -> (t, string) result
+(** Connect to the daemon's Unix-domain socket. *)
+
+val close : t -> unit
+
+val request : t -> string -> (Protocol.response, string) result
+(** Send one request line, read one response line.  [Error] on a
+    broken connection or an undecodable response. *)
+
+val rpc :
+  ?retries:int ->
+  ?base_delay_ms:int ->
+  ?rng:Dsp_util.Rng.t ->
+  path:string ->
+  string ->
+  (Protocol.response, string) result
+(** One-shot request with retry: connect, send, decode; on connection
+    failure or an [overloaded] response, back off and retry up to
+    [retries] times (default 8).  The [n]-th delay is
+    [base_delay_ms * 2^n] (default base 25) with ±50% jitter, floored
+    at the server's [retry_after_ms] hint when one was given.
+    Responses with any other error kind return immediately — they are
+    answers, not transient conditions. *)

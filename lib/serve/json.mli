@@ -1,0 +1,43 @@
+(** Minimal self-contained JSON — the wire format of the NDJSON
+    service protocol ({!Protocol}).
+
+    The repo carries no external JSON dependency, so this is a small
+    total parser and a single-line printer, hardened the way
+    {!Dsp_instance.Io} is: {!of_string} never raises on any byte
+    string (the protocol fuzz test feeds it mutated garbage), and
+    errors carry the 0-based byte offset of the offending character so
+    the server can attribute them.  Nesting depth is capped, so
+    adversarial input cannot blow the stack. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line rendering (newlines in strings are escaped), safe to
+    embed as one NDJSON line.  Non-finite floats print as [null] to
+    stay inside JSON. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error.  Total:
+    any input yields [Ok] or [Error], never an exception.  The error
+    message starts with ["byte N: "].  Objects keep their fields in
+    input order; duplicate keys keep the first. *)
+
+(** {2 Accessors} — all total, [None] on a type mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on absent field or non-object. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [Int] coerces to float. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option

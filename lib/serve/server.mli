@@ -1,0 +1,89 @@
+(** The DSP service: NDJSON requests in, validated answers out.
+
+    The server core ({!handle}) is transport-independent — it maps one
+    request line to one response line (or a deferred one for
+    pool-dispatched solves), so the test suite and the bench harness
+    drive it in-process while the daemon wraps it in a Unix-domain
+    socket loop ({!run_socket}) or a stdin/stdout pipe ({!run_pipe}).
+
+    Robustness contract:
+    - {e never crashes on input}: every malformed line becomes a typed
+      NDJSON error (see {!Protocol}); the only broad exception
+      absorber is the per-connection handler in {!run_socket}, which
+      drops that connection and keeps serving the rest.
+    - {e durability}: with a [wal_dir], every session mutation is
+      validated, then appended to the session's {!Wal} (fsync per
+      policy), then applied — so {!recover_sessions} after a crash
+      replays to exactly the acknowledged state, and the WAL is
+      compacted to a snapshot record every [compact_every] appends.
+    - {e per-request SLAs}: solve requests carry optional
+      [timeout_ms] / [fallback] lowered onto {!Dsp_engine.Runner}
+      chains — a deadline miss degrades to the chain's safety net,
+      never to a hung request.
+    - {e overload protection}: at most [queue_limit] solves in flight;
+      beyond that requests shed with a typed [overloaded] error and a
+      [retry_after_ms] hint ({!Client} honors it).  [run_socket]
+      additionally caps pending replies per connection and the line
+      length it will buffer.
+
+    Sessions are single-domain values, so the server is single-loop by
+    design; only stateless solves fan out onto the worker pool. *)
+
+type config = {
+  wal_dir : string option;  (** durable sessions when set *)
+  fsync : Wal.fsync_policy;
+  queue_limit : int;  (** max in-flight pool solves before shedding *)
+  compact_every : int;  (** WAL appends between compactions; 0 = never *)
+  retry_after_ms : int;  (** backoff hint in [overloaded] errors *)
+}
+
+val default_config : config
+(** No WAL, fsync [Always], [queue_limit = 64], [compact_every = 256],
+    [retry_after_ms = 50]. *)
+
+type t
+
+val create : ?pool:Dsp_util.Pool.t -> config -> t
+(** Without a pool, solves run inline on the caller (every reply is
+    immediate) — the test-suite mode.  The daemon passes a pool. *)
+
+(** One request's answer: immediate, or a poll thunk for a solve that
+    went to the pool.  Poll until [Some line]; after that the thunk
+    must not be called again. *)
+type reply = Now of string | Later of (unit -> string option)
+
+val handle : t -> string -> reply
+(** Process one NDJSON request line.  Total — any input yields a
+    response line. *)
+
+val recover_sessions : t -> (string * (int, string) result) list
+(** Scan [wal_dir] for [*.wal] files and rebuild each session by
+    replaying its log (snapshot record, then tail events).  Returns
+    per-session [Ok records_replayed] or [Error reason]; a session
+    that fails to rebuild is skipped, not fatal.  No-op without a
+    [wal_dir]. *)
+
+val session_names : t -> string list
+val inflight : t -> int
+
+val close : t -> unit
+(** Close every session WAL (files are kept — they are the durable
+    state).  The server must not be used afterwards. *)
+
+(** {2 Transports} *)
+
+val run_pipe : t -> in_channel -> out_channel -> unit
+(** Serve request lines until EOF — the [--stdio] daemon mode and the
+    fuzz harness's entry.  Deferred replies are awaited in order. *)
+
+val run_socket :
+  t ->
+  path:string ->
+  ?max_pending_per_conn:int ->
+  ?stop:bool Atomic.t ->
+  unit ->
+  (unit, string) result
+(** Bind a Unix-domain stream socket at [path] (replacing a stale
+    socket file) and serve until [stop] flips.  Per-connection
+    failures (a peer vanishing mid-line, oversized lines) close that
+    connection only.  [Error] is reserved for failure to bind. *)

@@ -1,0 +1,348 @@
+(* Write-ahead log with checksummed length-prefixed framing.  The
+   design constraint is the recovery invariant: anything [append]
+   acknowledged (under fsync Always) must come back from [recover]
+   bit-identically, and a crash at any byte boundary must leave a file
+   that recovers to a clean prefix of the append history. *)
+
+let c_appends = Dsp_util.Instr.counter Dsp_util.Instr.Sites.wal_appends
+let c_fsyncs = Dsp_util.Instr.counter Dsp_util.Instr.Sites.wal_fsyncs
+
+let c_recovered =
+  Dsp_util.Instr.counter Dsp_util.Instr.Sites.wal_records_recovered
+
+let c_compactions =
+  Dsp_util.Instr.counter Dsp_util.Instr.Sites.wal_compactions
+
+(* ----- CRC-32 (IEEE, polynomial 0xEDB88320) ------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ----- fsync policy ------------------------------------------------- *)
+
+type fsync_policy = Always | Every of int | Never
+
+let fsync_policy_of_string s =
+  match s with
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | _ ->
+      let prefix = "every:" in
+      let pl = String.length prefix in
+      if String.length s > pl && String.sub s 0 pl = prefix then
+        match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+        | Some n when n >= 1 -> Ok (Every n)
+        | _ -> Error (Printf.sprintf "bad fsync interval in %S" s)
+      else
+        Error
+          (Printf.sprintf "unknown fsync policy %S (always|never|every:N)" s)
+
+let fsync_policy_to_string = function
+  | Always -> "always"
+  | Never -> "never"
+  | Every n -> Printf.sprintf "every:%d" n
+
+(* ----- record codec ------------------------------------------------- *)
+
+type record =
+  | Header of { width : int; policy : string; k : int }
+  | Event of Dsp_instance.Trace.event
+  | Snapshot of {
+      width : int;
+      policy : string;
+      k : int;
+      n_arrived : int;
+      n_migrations : int;
+      live : (int * int * int * int) list;
+    }
+
+let encode_record = function
+  | Header { width; policy; k } -> Printf.sprintf "h %d %s %d" width policy k
+  | Event (Dsp_instance.Trace.Arrive { w; h }) -> Printf.sprintf "e + %d %d" w h
+  | Event (Dsp_instance.Trace.Depart { arrival }) ->
+      Printf.sprintf "e - %d" arrival
+  | Snapshot { width; policy; k; n_arrived; n_migrations; live } ->
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf
+        (Printf.sprintf "s %d %s %d %d %d" width policy k n_arrived
+           n_migrations);
+      List.iter
+        (fun (id, w, h, start) ->
+          Buffer.add_string buf (Printf.sprintf "\ni %d %d %d %d" id w h start))
+        live;
+      Buffer.contents buf
+
+let int_tok name tok =
+  match int_of_string_opt tok with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad %s %S" name tok)
+
+let ( let* ) = Result.bind
+
+let decode_record payload =
+  match String.split_on_char '\n' payload with
+  | [] -> Error "empty record"
+  | first :: rest -> (
+      let toks line =
+        String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+      in
+      match toks first with
+      | [ "h"; width; policy; k ] ->
+          if rest <> [] then Error "header record with trailing lines"
+          else
+            let* width = int_tok "width" width in
+            let* k = int_tok "k" k in
+            Ok (Header { width; policy; k })
+      | [ "e"; "+"; w; h ] ->
+          if rest <> [] then Error "event record with trailing lines"
+          else
+            let* w = int_tok "width" w in
+            let* h = int_tok "height" h in
+            Ok (Event (Dsp_instance.Trace.Arrive { w; h }))
+      | [ "e"; "-"; arrival ] ->
+          if rest <> [] then Error "event record with trailing lines"
+          else
+            let* arrival = int_tok "arrival" arrival in
+            Ok (Event (Dsp_instance.Trace.Depart { arrival }))
+      | [ "s"; width; policy; k; n_arrived; n_migrations ] ->
+          let* width = int_tok "width" width in
+          let* k = int_tok "k" k in
+          let* n_arrived = int_tok "n_arrived" n_arrived in
+          let* n_migrations = int_tok "n_migrations" n_migrations in
+          let* live =
+            List.fold_left
+              (fun acc line ->
+                let* acc = acc in
+                match toks line with
+                | [ "i"; id; w; h; start ] ->
+                    let* id = int_tok "id" id in
+                    let* w = int_tok "width" w in
+                    let* h = int_tok "height" h in
+                    let* start = int_tok "start" start in
+                    Ok ((id, w, h, start) :: acc)
+                | _ -> Error (Printf.sprintf "bad snapshot item line %S" line))
+              (Ok []) rest
+          in
+          Ok
+            (Snapshot
+               {
+                 width;
+                 policy;
+                 k;
+                 n_arrived;
+                 n_migrations;
+                 live = List.rev live;
+               })
+      | _ -> Error (Printf.sprintf "bad record line %S" first))
+
+(* ----- framing ------------------------------------------------------ *)
+
+(* Sanity cap on a record's payload; a length field above this is
+   treated as corruption, not as a 2 GB allocation request. *)
+let max_payload = 16 * 1024 * 1024
+
+let put_u32 b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+let get_u32 s off =
+  Char.code (Bytes.get s off)
+  lor (Char.code (Bytes.get s (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get s (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get s (off + 3)) lsl 24)
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  put_u32 b 0 n;
+  put_u32 b 4 (crc32 payload);
+  Bytes.blit_string payload 0 b 8 n;
+  b
+
+(* ----- the log ------------------------------------------------------ *)
+
+type t = {
+  wpath : string;
+  mutable fd : Unix.file_descr;
+  fsync : fsync_policy;
+  mutable unsynced : int;  (* appends since the last fsync *)
+  mutable n_appended : int;  (* appends since open/compact *)
+}
+
+let path t = t.wpath
+let appended t = t.n_appended
+
+let open_append path =
+  Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+
+let create ?(fsync = Always) path =
+  let fd =
+    Unix.openfile path
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_APPEND ]
+      0o644
+  in
+  { wpath = path; fd; fsync; unsynced = 0; n_appended = 0 }
+
+let write_all fd b off len =
+  let written = ref off and remaining = ref len in
+  while !remaining > 0 do
+    let n = Unix.write fd b !written !remaining in
+    written := !written + n;
+    remaining := !remaining - n
+  done
+
+let sync t =
+  Dsp_util.Instr.bump c_fsyncs;
+  Unix.fsync t.fd;
+  t.unsynced <- 0
+
+let maybe_sync t =
+  match t.fsync with
+  | Always -> sync t
+  | Never -> ()
+  | Every n -> if t.unsynced >= n then sync t
+
+let append t record =
+  (* The bump is the fault point: a Raise plan at wal.appends dies
+     before any bytes are written. *)
+  Dsp_util.Instr.bump c_appends;
+  let payload = encode_record record in
+  let f = frame payload in
+  if Dsp_util.Fault.take_corruption () && String.length payload > 0 then
+    (* corrupt-on-write: flip one payload byte after checksumming, so
+       the frame reaches disk carrying a crc its payload no longer
+       matches — recovery must reject it *)
+    Bytes.set f 8 (Char.chr (Char.code (Bytes.get f 8) lxor 0x5A));
+  if Dsp_util.Fault.take_short_write () then begin
+    (* crash mid-append: half the frame reaches the disk, then the
+       process "dies" — recovery must truncate this torn tail *)
+    let cut = max 1 (Bytes.length f / 2) in
+    write_all t.fd f 0 cut;
+    raise
+      (Dsp_util.Fault.Injected
+         (Printf.sprintf "short write: %d of %d bytes of a WAL record" cut
+            (Bytes.length f)))
+  end;
+  write_all t.fd f 0 (Bytes.length f);
+  t.unsynced <- t.unsynced + 1;
+  t.n_appended <- t.n_appended + 1;
+  maybe_sync t
+
+let close t = Unix.close t.fd
+
+(* ----- recovery ----------------------------------------------------- *)
+
+type recovery = { records : record list; truncated_bytes : int }
+
+let read_whole path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      let b = Bytes.create size in
+      let off = ref 0 in
+      let eof = ref false in
+      while !off < size && not !eof do
+        let n = Unix.read fd b !off (size - !off) in
+        if n = 0 then eof := true else off := !off + n
+      done;
+      Bytes.sub b 0 !off)
+
+(* Scan records until the first frame that is incomplete, oversized,
+   fails its checksum, or does not decode; everything from there on is
+   the torn/corrupt tail. *)
+let scan data =
+  let size = Bytes.length data in
+  let records = ref [] in
+  let good = ref 0 in
+  let stopped = ref false in
+  while not !stopped do
+    let off = !good in
+    if off + 8 > size then stopped := true
+    else begin
+      let len = get_u32 data off in
+      if len < 0 || len > max_payload || off + 8 + len > size then
+        stopped := true
+      else begin
+        let payload = Bytes.sub_string data (off + 8) len in
+        if crc32 payload <> get_u32 data (off + 4) then stopped := true
+        else
+          match decode_record payload with
+          | Error _ -> stopped := true
+          | Ok r ->
+              records := r :: !records;
+              Dsp_util.Instr.bump c_recovered;
+              good := off + 8 + len
+      end
+    end
+  done;
+  (List.rev !records, !good)
+
+let recover ?(fsync = Always) path =
+  if not (Sys.file_exists path) then
+    match create ~fsync path with
+    | t -> Ok (t, { records = []; truncated_bytes = 0 })
+    | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot create WAL %s: %s" path (Unix.error_message e))
+  else
+    match read_whole path with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot read WAL %s: %s" path (Unix.error_message e))
+    | data ->
+        let records, good = scan data in
+        let truncated = Bytes.length data - good in
+        if truncated > 0 then begin
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              Unix.ftruncate fd good;
+              Unix.fsync fd)
+        end;
+        let fd = open_append path in
+        Ok
+          ( { wpath = path; fd; fsync; unsynced = 0; n_appended = 0 },
+            { records; truncated_bytes = truncated } )
+
+(* ----- compaction --------------------------------------------------- *)
+
+(* Temp + fsync + rename: a crash at any point leaves either the old
+   complete log or the new complete log. *)
+let compact t record =
+  Dsp_util.Instr.bump c_compactions;
+  let tmp = t.wpath ^ ".tmp" in
+  let payload = encode_record record in
+  let f = frame payload in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      write_all fd f 0 (Bytes.length f);
+      Unix.fsync fd);
+  Unix.rename tmp t.wpath;
+  Unix.close t.fd;
+  t.fd <- open_append t.wpath;
+  t.unsynced <- 0;
+  t.n_appended <- 0

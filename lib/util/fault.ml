@@ -1,4 +1,4 @@
-type action = Raise | Stall of float | Corrupt
+type action = Raise | Stall of float | Corrupt | Short
 type plan = { site : string; action : action; after : int }
 
 exception Injected of string
@@ -13,11 +13,17 @@ type state = { plan : plan; hits : int Atomic.t; fired : bool Atomic.t }
 let current : state option Atomic.t = Atomic.make None
 let pending_corruption = Atomic.make false
 
+(* IO-layer twin of [pending_corruption]: a fired Short plan asks the
+   next WAL append to write only a prefix of its record and then die,
+   modelling a crash mid-write (torn tail). *)
+let pending_short = Atomic.make false
+
 let fire (p : plan) =
   match p.action with
   | Raise -> raise (Injected (Printf.sprintf "injected fault at %s (hit %d)" p.site p.after))
   | Stall s -> Unix.sleepf s
   | Corrupt -> Atomic.set pending_corruption true
+  | Short -> Atomic.set pending_short true
 
 let on_hit name =
   match Atomic.get current with
@@ -34,11 +40,13 @@ let arm plan =
   Atomic.set current
     (Some { plan; hits = Atomic.make 0; fired = Atomic.make false });
   Atomic.set pending_corruption false;
+  Atomic.set pending_short false;
   Instr.set_on_hit (Some on_hit)
 
 let disarm () =
   Atomic.set current None;
   Atomic.set pending_corruption false;
+  Atomic.set pending_short false;
   Instr.set_on_hit None
 
 let armed () = Option.map (fun st -> st.plan) (Atomic.get current)
@@ -50,18 +58,22 @@ let hits () =
   match Atomic.get current with Some st -> Atomic.get st.hits | None -> 0
 
 let take_corruption () = Atomic.exchange pending_corruption false
+let take_short_write () = Atomic.exchange pending_short false
 
 let default_stall_ms = 200
 
 let parse_action s =
   if s = "raise" then Ok Raise
   else if s = "corrupt" then Ok Corrupt
+  else if s = "short" then Ok Short
   else if s = "stall" then Ok (Stall (float_of_int default_stall_ms /. 1000.))
   else if String.length s > 5 && String.sub s 0 5 = "stall" then
     match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
     | Some ms when ms >= 0 -> Ok (Stall (float_of_int ms /. 1000.))
     | _ -> Error (Printf.sprintf "bad stall duration in %S" s)
-  else Error (Printf.sprintf "unknown fault action %S (raise|stall[MS]|corrupt)" s)
+  else
+    Error
+      (Printf.sprintf "unknown fault action %S (raise|stall[MS]|corrupt|short)" s)
 
 (* Site names in user-facing specs are validated against the
    canonical [Instr.Sites] table: a typo'd site would otherwise arm a
@@ -93,6 +105,7 @@ let parse_spec spec =
 let action_to_string = function
   | Raise -> "raise"
   | Corrupt -> "corrupt"
+  | Short -> "short"
   | Stall s -> Printf.sprintf "stall%d" (int_of_float (Float.round (s *. 1000.)))
 
 let spec_to_string p =

@@ -12,7 +12,12 @@
       cooperative {!Budget} deadline at the next checkpoint;
     - {!Corrupt} flags the solve so the runner hands a structurally
       corrupted packing to [Report] validation — models a solver
-      returning garbage.
+      returning garbage.  At the WAL's append site the same action
+      instead flips a byte of the record before it is written
+      (corrupt-on-write), which recovery must detect by checksum;
+    - {!Short} flags the next WAL append to write only a prefix of its
+      record and then raise {!Injected} — models a crash mid-write,
+      leaving the torn tail that recovery must truncate cleanly.
 
     Plans are one-shot and process-global; the hit count and the
     fired flag are atomic, so a plan fires {e exactly once} even when
@@ -27,6 +32,7 @@ type action =
   | Raise
   | Stall of float  (** seconds *)
   | Corrupt
+  | Short  (** short write: the next WAL append is cut mid-record *)
 
 type plan = {
   site : string;  (** an {!Instr} counter name *)
@@ -55,11 +61,19 @@ val hits : unit -> int
 val take_corruption : unit -> bool
 (** Consume the pending-corruption flag set by a fired {!Corrupt}
     plan.  The runner calls this once per completed solve and, when
-    true, corrupts the returned packing before validation. *)
+    true, corrupts the returned packing before validation.  The WAL
+    calls it at its append site and, when true, flips a byte of the
+    record on its way to disk instead. *)
+
+val take_short_write : unit -> bool
+(** Consume the pending short-write flag set by a fired {!Short} plan.
+    The WAL calls this once per append and, when true, writes only a
+    prefix of the record and raises {!Injected} — a deterministic
+    crash mid-write. *)
 
 val parse_spec : string -> (plan, string) result
 (** Parse a CLI fault spec [SITE:ACTION[:AFTER]] where [ACTION] is
-    [raise], [corrupt], or [stall[MS]] (default 200 ms) and [AFTER]
+    [raise], [corrupt], [short], or [stall[MS]] (default 200 ms) and [AFTER]
     defaults to 1 — e.g. ["bb.nodes:raise:100"],
     ["segtree.range_add:stall50"], ["budget_fit.best_fit_probes:corrupt"].
     [SITE] must be a canonical {!Instr.Sites} name; unknown sites are

@@ -53,6 +53,21 @@ module Sites = struct
   let session_migrations = "session.migrations"
   let session_migration_trials = "session.migration_trials"
 
+  (* Write-ahead-log IO (lib/serve/wal.ml).  These double as the
+     IO-layer fault points: a Raise at [wal_fsyncs] models a failed
+     fsync, Corrupt at [wal_appends] is corrupt-on-write, Short at
+     [wal_appends] is a crash mid-append. *)
+  let wal_appends = "wal.appends"
+  let wal_fsyncs = "wal.fsyncs"
+  let wal_records_recovered = "wal.records_recovered"
+  let wal_compactions = "wal.compactions"
+
+  (* Service daemon request handling (lib/serve/server.ml). *)
+  let serve_requests = "serve.requests"
+  let serve_errors = "serve.errors"
+  let serve_shed = "serve.shed"
+  let serve_solves = "serve.solves"
+
   let all =
     [
       segtree_range_add;
@@ -72,6 +87,14 @@ module Sites = struct
       session_departures;
       session_migrations;
       session_migration_trials;
+      wal_appends;
+      wal_fsyncs;
+      wal_records_recovered;
+      wal_compactions;
+      serve_requests;
+      serve_errors;
+      serve_shed;
+      serve_solves;
     ]
 
   let mem name = List.mem name all

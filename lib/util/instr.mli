@@ -53,6 +53,14 @@ module Sites : sig
   val session_departures : string
   val session_migrations : string
   val session_migration_trials : string
+  val wal_appends : string
+  val wal_fsyncs : string
+  val wal_records_recovered : string
+  val wal_compactions : string
+  val serve_requests : string
+  val serve_errors : string
+  val serve_shed : string
+  val serve_solves : string
 
   val all : string list
   (** Every canonical site name, in registration order. *)

@@ -95,6 +95,19 @@ let await fut =
 let await_result fut =
   match await fut with v -> Ok v | exception e -> Error e
 
+(* Non-blocking probe: the serve daemon's select loop holds a bounded
+   set of in-flight solve futures and harvests whichever completed
+   between two socket wakeups, so it must never park on one future
+   while another client is waiting for its answer. *)
+let poll fut =
+  Mutex.lock fut.fm;
+  let st = fut.st in
+  Mutex.unlock fut.fm;
+  match st with
+  | Pending -> None
+  | Done v -> Some (Ok v)
+  | Failed (e, _) -> Some (Error e)
+
 let run_all pool fs =
   List.map await_result (List.map (fun f -> submit pool f) fs)
 

@@ -43,6 +43,13 @@ val await : 'a future -> 'a
 val await_result : 'a future -> ('a, exn) result
 (** Non-raising {!await}. *)
 
+val poll : 'a future -> ('a, exn) result option
+(** Non-blocking completion probe: [None] while the task is still
+    pending or queued, [Some] once it finished.  The serve daemon's
+    event loop drains completed solves between socket wakeups with
+    this — it must never block on one client's future while another
+    client waits. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Submit one task per element, await in order.  Re-raises the first
     (in list order) failing task's exception. *)

@@ -86,6 +86,72 @@ BENCH_JSON=none DSP_BENCH_RESULTS=none \
   timeout 120 dune exec bench/main.exe -- online-smoke >/dev/null
 echo "ok: online-smoke bench experiment completes"
 
+# --- service daemon crash-recovery smoke -----------------------------
+# The serve path end to end, the hard way: start the daemon on a
+# socket with a WAL directory, drive a durable session through the
+# retrying client, SIGKILL the daemon mid-life, restart it, and
+# require the recovered peak to equal the pre-crash answer.  Also
+# checks the typed-error exit code of the client.  Every step runs
+# under timeout: a hang is a failure, not a wait.
+srv_dir=$(mktemp -d -t serve-smoke.XXXXXX)
+daemon_pid=""
+cleanup_serve() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -f "$inst" "$trc"
+  rm -rf "$srv_dir"
+}
+trap cleanup_serve EXIT
+sock="$srv_dir/dsp.sock"
+served=./_build/default/bin/dsp_served.exe
+
+start_daemon() {
+  "$served" daemon --socket "$sock" --wal-dir "$srv_dir/wal" --jobs 2 \
+    2>"$srv_dir/daemon.log" &
+  daemon_pid=$!
+}
+client() {
+  timeout 30 "$served" client --socket "$sock" "$@"
+}
+
+start_daemon
+client '{"op":"open","session":"grid","width":12,"policy":"migrate","k":2}' \
+       '{"op":"arrive","session":"grid","w":4,"h":3}' \
+       '{"op":"arrive","session":"grid","w":6,"h":2}' \
+       '{"op":"arrive","session":"grid","w":3,"h":5}' \
+       '{"op":"depart","session":"grid","arrival":1}' >/dev/null
+peak_before=$(client '{"op":"peak","session":"grid"}')
+
+# a stale departure is a typed error (client exit 3), not a crash
+status=0
+client '{"op":"depart","session":"grid","arrival":7}' >/dev/null || status=$?
+if [ "$status" -ne 3 ]; then
+  echo "FAIL: stale departure exited $status (want typed-error exit 3)" >&2
+  exit 1
+fi
+echo "ok: daemon answers a stale departure with a typed error"
+
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+start_daemon
+peak_after=$(client '{"op":"peak","session":"grid"}')
+grep -q "recovered session grid" "$srv_dir/daemon.log" \
+  || { echo "FAIL: daemon did not report recovering the session" >&2; exit 1; }
+if [ "$peak_before" != "$peak_after" ]; then
+  echo "FAIL: recovered state differs: $peak_before vs $peak_after" >&2
+  exit 1
+fi
+kill "$daemon_pid" 2>/dev/null
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+echo "ok: daemon state survives kill -9 via WAL recovery"
+
+# and the CI-sized serve bench experiment end to end
+BENCH_JSON=none DSP_BENCH_RESULTS=none \
+  timeout 120 dune exec bench/main.exe -- serve-smoke >/dev/null
+echo "ok: serve-smoke bench experiment completes"
+
 # --- multicore smoke (--jobs 2) --------------------------------------
 # Race the fallback chain on a 2-domain pool: must return a validated
 # report (exit 0) under one shared deadline, never hang — the losers

@@ -126,7 +126,7 @@ let plumbing_tests =
         List.iter
           (fun d ->
             Alcotest.(check bool) (d ^ " reachable") true (List.mem d dirs))
-          [ "lib/util"; "lib/core"; "lib/exact"; "lib/engine" ];
+          [ "lib/util"; "lib/core"; "lib/exact"; "lib/engine"; "lib/serve" ];
         Alcotest.(check bool) "augment is outside the engine cone" false
           (List.mem "lib/augment" dirs));
   ]

@@ -26,5 +26,6 @@ let () =
       ("runner", Test_runner.suite);
       ("parallel", Test_parallel.suite);
       ("bench", Test_bench.suite);
+      ("serve", Test_serve.suite);
       ("lint", Test_lint.suite);
     ]

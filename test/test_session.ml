@@ -242,10 +242,82 @@ let arrive_rejects_bad_dims () =
     (rejects (fun () -> Session.arrive s ~w:11 ~h:3));
   Alcotest.(check int) "session unharmed" 0 (Session.peak s)
 
+(* The Trace parser under the same byte-mutation fuzz as Io: the serve
+   daemon replays WAL event payloads through it, so totality here is a
+   durability property, not just an input-hygiene one. *)
+let trace_fuzz =
+  Helpers.qtest ~count:200 "fuzz: mutated traces never crash the parser"
+    QCheck.(triple (int_range 1 10_000) small_nat (int_range 0 255))
+    (fun (seed, pos, byte) ->
+      let rng = Rng.create (90_000 + seed) in
+      let text = Trace.to_string (random_trace rng) in
+      let mutated =
+        if String.length text = 0 then text
+        else
+          String.mapi
+            (fun i c ->
+              if i = pos mod String.length text then Char.chr byte else c)
+            text
+      in
+      match Trace.of_string mutated with
+      | Ok tr -> (
+          (* whatever the mutation still spells must satisfy the full
+             stream invariants of_string promises *)
+          match Trace.validate tr with
+          | Ok () -> true
+          | Error e ->
+              QCheck.Test.fail_reportf "accepted invalid trace: %s"
+                (Trace.error_to_string e))
+      | Error e -> String.length (Trace.error_to_string e) > 0
+      | exception e ->
+          QCheck.Test.fail_reportf "parser raised %s on %S"
+            (Printexc.to_string e) mutated)
+
+let depart_typed_errors () =
+  let s = Session.create ~width:10 () in
+  let check_err name expected got =
+    Alcotest.(check string)
+      name expected
+      (match got with
+      | Ok _ -> "ok"
+      | Error e -> Session.depart_error_to_string e)
+  in
+  check_err "never arrived"
+    (Session.depart_error_to_string (Session.Never_arrived 0))
+    (Session.depart_result s 0);
+  check_err "negative id"
+    (Session.depart_error_to_string (Session.Never_arrived (-3)))
+    (Session.depart_result s (-3));
+  let id = Session.arrive s ~w:4 ~h:2 in
+  (match Session.depart_result s id with
+  | Ok start ->
+      Alcotest.(check (option int)) "freed start reported" (Some start) (Some 0)
+  | Error e -> Alcotest.failf "live depart refused: %s" (Session.depart_error_to_string e));
+  check_err "already departed"
+    (Session.depart_error_to_string (Session.Already_departed id))
+    (Session.depart_result s id);
+  (* a refused departure mutates nothing *)
+  let st = Session.stats s in
+  Alcotest.(check int) "arrivals" 1 st.Session.arrivals;
+  Alcotest.(check int) "departures" 1 st.Session.departures;
+  (* the raising wrapper carries the same message *)
+  (match Session.depart s id with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument m ->
+      Alcotest.(check string)
+        "wrapper message"
+        (Session.depart_error_to_string (Session.Already_departed id))
+        m);
+  Alcotest.(check bool)
+    "messages distinguish the two causes" false
+    (Session.depart_error_to_string (Session.Never_arrived 5)
+    = Session.depart_error_to_string (Session.Already_departed 5))
+
 let suite =
   [
     Alcotest.test_case "trace to_string/of_string round-trips" `Quick
       trace_round_trip;
+    trace_fuzz;
     Alcotest.test_case "trace parse errors are typed and line-numbered" `Quick
       trace_errors;
     Alcotest.test_case "arrivals-only replay equals batch of_starts" `Quick
@@ -260,4 +332,6 @@ let suite =
       migration_budget_respected;
     Alcotest.test_case "arrive mirrors Io's dimension checks" `Quick
       arrive_rejects_bad_dims;
+    Alcotest.test_case "depart_result types stale departures" `Quick
+      depart_typed_errors;
   ]
