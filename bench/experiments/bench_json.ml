@@ -1,4 +1,4 @@
-(* Machine-readable benchmark output (schema dsp-bench/6).
+(* Machine-readable benchmark output (schema dsp-bench/7).
 
    Experiments register metrics (wall-clock seconds, peak heights,
    node counts, speedups) under their experiment id while they run;
@@ -36,7 +36,14 @@
    round-trip "latency" percentile groups measured through the
    daemon's socket, and the exact "peak_agree"/"recover_agree"
    correctness signals the perf gate checks alongside the existing
-   "*agree" metrics. *)
+   "*agree" metrics.
+
+   Schema v7 (same container, new vocabulary) adds the work-stealing
+   vocabulary of the parallel experiment family: per-domain-count
+   curve metrics ("d<k>_*_seconds"), steal telemetry ("*_steals",
+   "*_steal_fails"), per-domain node-count groups ("*_nodes" with
+   fields "d0".."d<k-1>"), and the "*_agree" optimum-equivalence
+   signals the perf gate enforces for the parallel-smoke baseline. *)
 
 type value =
   | Int of int
@@ -46,20 +53,22 @@ type value =
   | Group of (string * value) list
       (* one level deep: fields must be scalars (enforced on record) *)
 
-let schema_version = "dsp-bench/6"
+let schema_version = "dsp-bench/7"
 
 (* Schema versions [load] accepts: the container shape is identical,
    v3 only adds optional keys, v4 adds one-level metric groups, v5
    adds the online experiment family and the "seed" metric, v6 the
-   serve experiment family. *)
+   serve experiment family, v7 the work-stealing parallel
+   vocabulary. *)
 let known_schemas =
   [ "dsp-bench/2"; "dsp-bench/3"; "dsp-bench/4"; "dsp-bench/5";
-    schema_version ]
+    "dsp-bench/6"; schema_version ]
 
 (* Versions whose files may carry one-level groups (v4 introduced
    them); the loader must keep accepting groups in v4 files after
    later bumps, not just in the current version. *)
-let group_schemas = [ "dsp-bench/4"; "dsp-bench/5"; schema_version ]
+let group_schemas =
+  [ "dsp-bench/4"; "dsp-bench/5"; "dsp-bench/6"; schema_version ]
 
 (* Insertion-ordered: experiment ids in run order, metrics in record
    order within an experiment.  The store is shared mutable state and

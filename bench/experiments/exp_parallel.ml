@@ -1,25 +1,37 @@
-(* "parallel": 1-domain vs N-domain wall-clock of the multicore layer.
+(* "parallel": wall-clock and load-balance of the multicore layer;
+   "parallel-smoke": its CI-sized perf-gate slice.
 
-   Three measurements, each recorded into BENCH.json:
+   Measurements, each recorded into BENCH.json (schema dsp-bench/7):
 
    - sweep: a corpus of exact-B&B instances solved one-per-task on an
      N-domain pool vs a plain serial loop — cross-instance
      parallelism, the bench harness's own workload shape.
-   - bb: one harder instance, [Dsp_bb.solve] vs
-     [Dsp_bb.solve_par ~jobs] — intra-search parallelism with the
-     shared atomic incumbent.  The optima must match exactly.
+   - curve: [Dsp_bb.solve_par] (work-stealing) across 1/2/4/8 domains
+     on a balanced and on a skewed instance, each point recording
+     wall-clock, steal telemetry and per-domain node counts (a
+     "d<k>_<name>_nodes" group with fields "d0".."d<k-1>").  The
+     balanced instance spreads its root subtrees evenly; the skewed
+     one has a full-width dominant item, so the search tree has a
+     single root subtree and only stealing can involve domain > 0.
+   - skew: the stealing scheduler vs the retired round-robin deal
+     ([Dsp_bb.solve_par_dealt]) on the skewed instance — the ablation
+     the tentpole is judged by.  On real cores the deal serializes on
+     one domain and stealing wins the wall-clock; on a single
+     hardware thread the wall-clock difference is noise, so the
+     curve's per-domain node counts and steal counters are the
+     load-balance evidence that travels.
    - portfolio: the same fallback chain run serially ([Runner.solve],
-     equal deadline slices burned one after another) vs raced on the
-     pool ([Runner.race], one shared deadline, first validated report
-     wins).  The serial chain must sit through exact-bb's entire slice
-     before a heuristic gets a turn; the race returns as soon as the
-     fastest validated solver lands, so the speedup here is real even
-     on a single hardware thread.
+     weighted deadline slices burned one after another) vs raced on
+     the pool ([Runner.race], one shared deadline, first validated
+     report wins).  The race returns as soon as the fastest validated
+     solver lands, so the speedup here is real even on a single
+     hardware thread.
 
-   [domains_available] is recorded so a 1-core container's sweep/bb
+   [domains_available] is recorded so a 1-core container's wall-clock
    numbers (~1.0x there, >1 only with real cores) stay attributable;
-   the portfolio speedup is latency hiding, not throughput, and holds
-   regardless of core count. *)
+   the optimum-equivalence "*_agree" metrics and the steal/node-count
+   telemetry are scheduling facts that hold regardless of core
+   count. *)
 
 module Bb = Dsp_exact.Dsp_bb
 module Registry = Dsp_engine.Registry
@@ -27,18 +39,108 @@ module Runner = Dsp_engine.Runner
 module Pool = Dsp_util.Pool
 module Packing = Dsp_core.Packing
 
-let record key v = Bench_json.record ~experiment:"parallel" key v
 let timeit = Dsp_util.Xutil.timeit
 
 let uniform ~seed ~n ~width =
   let rng = Dsp_util.Rng.create (Common.seed_for seed) in
   Dsp_instance.Generators.uniform rng ~n ~width ~max_w:(width / 2) ~max_h:20
 
+(* One dominant full-width item plus small filler: the dominant item
+   sorts first (max area) and admits exactly one start column, so the
+   B&B root has a single subtree and the round-robin deal hands the
+   entire search to one domain.  Work-stealing redistributes its
+   depth-2/3 children instead. *)
+let skewed ~seed ~n ~width =
+  let rng = Dsp_util.Rng.create (Common.seed_for seed) in
+  let dims =
+    (width, 8)
+    :: List.init (n - 1) (fun _ ->
+           ( 1 + Dsp_util.Rng.int rng (max 1 (width / 3)),
+             1 + Dsp_util.Rng.int rng 10 ))
+  in
+  Dsp_core.Instance.of_dims ~width dims
+
 let speedup serial par = if par > 0.0 then serial /. par else Float.nan
 
+let solve_par_height ~jobs ~stats inst =
+  match Bb.solve_par ~jobs ~stats inst with
+  | Some pk -> Packing.height pk
+  | None -> -1
+
+let nodes_group (st : Bb.par_stats) =
+  Array.to_list
+    (Array.mapi
+       (fun i n -> (Printf.sprintf "d%d" i, Bench_json.Int n))
+       st.Bb.nodes_per_domain)
+
+(* One curve point: the stealing solver at [jobs] domains, recorded
+   under "d<jobs>_<name>_*".  Returns the optimum for the agreement
+   check. *)
+let curve_point ~experiment ~name ~jobs inst =
+  let record key v = Bench_json.record ~experiment key v in
+  let stats = ref None in
+  let opt, seconds, _gc =
+    Common.time_reps (fun () -> solve_par_height ~jobs ~stats inst)
+  in
+  let st = Option.get !stats in
+  let prefix = Printf.sprintf "d%d_%s" jobs name in
+  record (prefix ^ "_seconds") (Bench_json.Float seconds);
+  record (prefix ^ "_steals") (Bench_json.Int st.Bb.steals);
+  record (prefix ^ "_steal_fails") (Bench_json.Int st.Bb.steal_fails);
+  Bench_json.record_group ~experiment (prefix ^ "_nodes") (nodes_group st);
+  Printf.printf
+    "curve   %-9s jobs=%d: %.3fs  steals=%-5d fails=%-5d nodes=[%s]\n" name
+    jobs seconds st.Bb.steals st.Bb.steal_fails
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int st.Bb.nodes_per_domain)));
+  (opt, seconds)
+
+(* The 1/2/4/8-domain curve for one instance, plus the serial optimum
+   agreement ("<name>_curve_agree" = 1 iff every point matches the
+   serial solver). *)
+let curve ~experiment ~name ~domain_counts inst =
+  let serial_opt =
+    match Bb.solve inst with Some pk -> Packing.height pk | None -> -1
+  in
+  let points =
+    List.map (fun jobs -> curve_point ~experiment ~name ~jobs inst) domain_counts
+  in
+  let agree = List.for_all (fun (opt, _) -> opt = serial_opt) points in
+  Bench_json.record ~experiment
+    (name ^ "_curve_agree")
+    (Bench_json.Int (if agree then 1 else 0));
+  points
+
+(* Stealing vs the round-robin deal on the skewed instance. *)
+let skew_ablation ~experiment ~jobs inst =
+  let record key v = Bench_json.record ~experiment key v in
+  let rr_opt, rr_seconds, _ =
+    Common.time_reps (fun () ->
+        match Bb.solve_par_dealt ~jobs inst with
+        | Some pk -> Packing.height pk
+        | None -> -1)
+  in
+  let stats = ref None in
+  let ws_opt, ws_seconds, _ =
+    Common.time_reps (fun () -> solve_par_height ~jobs ~stats inst)
+  in
+  let st = Option.get !stats in
+  record "skew_rr_seconds" (Bench_json.Float rr_seconds);
+  record "skew_ws_seconds" (Bench_json.Float ws_seconds);
+  record "skew_ws_vs_rr_speedup"
+    (Bench_json.Float (speedup rr_seconds ws_seconds));
+  record "skew_ws_steals" (Bench_json.Int st.Bb.steals);
+  record "skew_agree" (Bench_json.Int (if rr_opt = ws_opt then 1 else 0));
+  Printf.printf
+    "skew    jobs=%d: round-robin %.3fs  stealing %.3fs  (%.2fx, steals=%d)\n"
+    jobs rr_seconds ws_seconds (speedup rr_seconds ws_seconds) st.Bb.steals
+
 let parallel () =
-  Common.section "parallel"
-    "1-domain vs N-domain wall-clock: pool sweep, parallel B&B, portfolio race";
+  let experiment = "parallel" in
+  let record key v = Bench_json.record ~experiment key v in
+  Common.section experiment
+    "work-stealing B&B: domain curve, skew ablation, pool sweep, portfolio race";
+  Common.record_seed ~experiment;
   let jobs = 4 in
   record "jobs" (Bench_json.Int jobs);
   record "domains_available" (Bench_json.Int (Domain.recommended_domain_count ()));
@@ -66,22 +168,15 @@ let parallel () =
     (List.length insts) sweep_serial jobs sweep_par
     (speedup sweep_serial sweep_par);
 
-  (* Intra-search: one instance, serial B&B vs root-split B&B (~3M
-     nodes — heavy enough for the split to matter, still closeable). *)
-  let hard = uniform ~seed:2 ~n:22 ~width:24 in
-  let serial_opt, bb_serial = timeit (fun () -> peak hard) in
-  let par_opt, bb_par =
-    timeit (fun () ->
-        match Bb.solve_par ~jobs hard with
-        | Some pk -> Packing.height pk
-        | None -> -1)
-  in
-  record "bb_serial_seconds" (Bench_json.Float bb_serial);
-  record "bb_par_seconds" (Bench_json.Float bb_par);
-  record "bb_speedup" (Bench_json.Float (speedup bb_serial bb_par));
-  record "bb_optima_match" (Bench_json.Bool (serial_opt = par_opt));
-  Printf.printf "bb      (n=22): serial %.3fs  solve_par %.3fs  (%.2fx, opt %d=%d)\n"
-    bb_serial bb_par (speedup bb_serial bb_par) serial_opt par_opt;
+  (* Intra-search curve: balanced and skewed instances across the
+     domain counts (~1M nodes each — heavy enough for scheduling to
+     matter, still closeable). *)
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let balanced = uniform ~seed:2 ~n:22 ~width:24 in
+  let skew = skewed ~seed:37 ~n:30 ~width:24 in
+  ignore (curve ~experiment ~name:"balanced" ~domain_counts balanced);
+  ignore (curve ~experiment ~name:"skewed" ~domain_counts skew);
+  skew_ablation ~experiment ~jobs skew;
 
   (* Portfolio: serial fallback chain vs racing the same chain.  The
      instance is far beyond exact-bb's deadline slice on purpose. *)
@@ -114,4 +209,25 @@ let parallel () =
     race_res.Runner.winner
     (speedup chain_serial chain_race)
 
-let experiments = [ ("parallel", parallel) ]
+(* The perf-gate slice: small enough for CI, still a real search with
+   stealing on the skewed instance.  Gated metrics: the "*_seconds"
+   wall-clocks against bench/results/baseline-parallel-smoke.json and
+   the "*_agree" optimum-equivalence signals (scheduler bugs show up
+   there first — a lost or double-executed frontier unit changes the
+   optimum long before it changes the wall-clock). *)
+let parallel_smoke () =
+  let experiment = "parallel-smoke" in
+  let record key v = Bench_json.record ~experiment key v in
+  Common.section experiment "work-stealing perf-gate slice (CI-sized)";
+  Common.record_seed ~experiment;
+  let jobs = 2 in
+  record "jobs" (Bench_json.Int jobs);
+  record "domains_available" (Bench_json.Int (Domain.recommended_domain_count ()));
+  let balanced = uniform ~seed:7 ~n:20 ~width:20 in
+  let skew = skewed ~seed:35 ~n:28 ~width:24 in
+  ignore (curve ~experiment ~name:"balanced" ~domain_counts:[ 1; jobs ] balanced);
+  ignore (curve ~experiment ~name:"skewed" ~domain_counts:[ 1; jobs ] skew);
+  skew_ablation ~experiment ~jobs skew
+
+let experiments =
+  [ ("parallel", parallel); ("parallel-smoke", parallel_smoke) ]

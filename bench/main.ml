@@ -13,7 +13,8 @@
      dune exec bench/main.exe -- counters     # per-solver Instr counters only
      dune exec bench/main.exe -- faults       # fault-injection robustness matrix
      dune exec bench/main.exe -- faults-smoke # CI-sized fault matrix
-     dune exec bench/main.exe -- parallel     # 1-domain vs N-domain speedups
+     dune exec bench/main.exe -- parallel     # work-stealing B&B domain curve
+     dune exec bench/main.exe -- parallel-smoke # CI-sized stealing run
      dune exec bench/main.exe -- online       # incremental sessions vs offline
      dune exec bench/main.exe -- online-smoke # CI-sized online run
      dune exec bench/main.exe -- serve        # service daemon over its socket
@@ -33,10 +34,11 @@
    copy of the same data for quick inspection.  BENCH_JSON overrides
    the convenience path, BENCH_JSON=none suppresses it entirely (the
    archive still lands under bench/results/ unless that is disabled
-   too).  The schema is dsp-bench/6:
+   too).  The schema is dsp-bench/7:
    per-experiment wall-clock and status, the metrics individual
    experiments record (kernel speedups and peaks, E4 node counts,
-   fault-matrix outcomes, the "parallel" experiment's speedups, the
+   fault-matrix outcomes, the "parallel" experiment's domain curve
+   and steal telemetry, the
    "online" experiment's competitive ratios and latency percentiles,
    the "serve" experiment's socket throughput and SLA latency groups),
    the per-solver instrumentation counters of the "counters"
@@ -78,7 +80,8 @@ let experiments =
    spawns its own daemon domain). *)
 let serial_only =
   [ "kernel"; "kernel-smoke"; "micro"; "counters"; "faults"; "faults-smoke";
-    "parallel"; "online"; "online-smoke"; "serve"; "serve-smoke" ]
+    "parallel"; "parallel-smoke"; "online"; "online-smoke"; "serve";
+    "serve-smoke" ]
 
 (* None when BENCH_JSON=none: the bench/results/ archive is the
    canonical record; the root BENCH.json is a convenience copy that

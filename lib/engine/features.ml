@@ -1,0 +1,87 @@
+open Dsp_core
+
+type t = {
+  n : int;
+  width : int;
+  lower_bound : int;
+  slack : float;
+  area_ratio : float;
+  height_spread : float;
+  demand_skew : float;
+  wide_fraction : float;
+}
+
+let extract (inst : Instance.t) =
+  let n = Instance.n_items inst in
+  let width = inst.Instance.width in
+  if n = 0 then
+    {
+      n;
+      width;
+      lower_bound = 0;
+      slack = 0.;
+      area_ratio = 0.;
+      height_spread = 0.;
+      demand_skew = 0.;
+      wide_fraction = 0.;
+    }
+  else begin
+    let lb = Instance.lower_bound inst in
+    let total_area = Instance.total_area inst in
+    let max_h = ref 0 and max_area = ref 0 and wide = ref 0 in
+    Array.iter
+      (fun (it : Item.t) ->
+        if it.h > !max_h then max_h := it.h;
+        let a = Item.area it in
+        if a > !max_area then max_area := a;
+        if 2 * it.w > width then incr wide)
+      inst.Instance.items;
+    let fn = float_of_int n in
+    let mean_h = float_of_int (Array.fold_left (fun acc (it : Item.t) -> acc + it.h) 0 inst.Instance.items) /. fn in
+    let mean_area = float_of_int total_area /. fn in
+    let capacity = float_of_int (width * lb) in
+    {
+      n;
+      width;
+      lower_bound = lb;
+      slack = (capacity -. float_of_int total_area) /. capacity;
+      area_ratio = mean_area /. capacity;
+      height_spread = float_of_int !max_h /. mean_h;
+      demand_skew = float_of_int !max_area /. mean_area;
+      wide_fraction = float_of_int !wide /. fn;
+    }
+  end
+
+let to_assoc f =
+  [
+    ("n", float_of_int f.n);
+    ("width", float_of_int f.width);
+    ("lower_bound", float_of_int f.lower_bound);
+    ("slack", f.slack);
+    ("area_ratio", f.area_ratio);
+    ("height_spread", f.height_spread);
+    ("demand_skew", f.demand_skew);
+    ("wide_fraction", f.wide_fraction);
+  ]
+
+let bucket f =
+  let size =
+    if f.n <= 12 then "tiny"
+    else if f.n <= 28 then "small"
+    else if f.n <= 64 then "mid"
+    else "large"
+  in
+  let slack = if f.slack < 0.08 then "tight" else "loose" in
+  let shape =
+    if f.height_spread > 2.5 || f.demand_skew > 4.0 then "spiky" else "flat"
+  in
+  Printf.sprintf "%s-%s-%s" size slack shape
+
+let pp fmt f =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (k, v) ->
+      if Float.is_integer v then Format.fprintf fmt "%-14s %d@," k (int_of_float v)
+      else Format.fprintf fmt "%-14s %.3f@," k v)
+    (to_assoc f);
+  Format.fprintf fmt "bucket         %s@]" (bucket f)

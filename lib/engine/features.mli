@@ -1,0 +1,53 @@
+(** Instance features for the portfolio autotuner.
+
+    A handful of cheap (one pass over the items) numeric summaries of
+    a DSP instance that correlate with which solver chain wins and how
+    the time budget should be split between its stages — the inputs of
+    {!Tuner.plan}.  All ratios are dimensionless so instances of
+    different absolute scale land in the same buckets. *)
+
+open Dsp_core
+
+type t = {
+  n : int;  (** number of items *)
+  width : int;  (** strip width *)
+  lower_bound : int;  (** {!Instance.lower_bound} *)
+  slack : float;
+      (** fraction of the area box [width * lower_bound] left empty:
+          [0] means the area bound is tight (a perfect packing must
+          fill every cell), larger values mean more placement
+          freedom *)
+  area_ratio : float;
+      (** mean item area / strip capacity at the lower bound — how
+          coarse the items are relative to the space *)
+  height_spread : float;
+      (** max item height / mean item height ([1] = uniform) *)
+  demand_skew : float;
+      (** max item area / mean item area — a few dominant items make
+          the B&B root heavy and favour exact search with stealing *)
+  wide_fraction : float;
+      (** fraction of items wider than half the strip (these stack
+          vertically, which tightens the column bound) *)
+}
+
+val extract : Instance.t -> t
+(** One pass over the items; [n = 0] yields all-zero ratios. *)
+
+val to_assoc : t -> (string * float) list
+(** Stable name/value view (ints coerced), for printing and for the
+    bench recorder. *)
+
+val bucket : t -> string
+(** The coarse portfolio bucket this instance falls into, a string of
+    the form ["<size>-<slack>-<shape>"] (e.g. ["small-tight-spiky"]):
+
+    - size: [tiny] (n <= 12), [small] (<= 28), [mid] (<= 64),
+      [large];
+    - slack: [tight] ([slack < 0.08]) or [loose];
+    - shape: [spiky] ([height_spread > 2.5] or [demand_skew > 4.0]) or
+      [flat].
+
+    Buckets are the keys of the tuner's prior table and of its
+    recorded-outcome feedback file. *)
+
+val pp : Format.formatter -> t -> unit

@@ -200,7 +200,7 @@ let () =
         Solver.name = "exact-bb-par";
         family = Exact;
         complexity = Exponential;
-        doc = "parallel exact B&B (root-split, shared incumbent; --jobs domains)";
+        doc = "parallel exact B&B (work-stealing, shared incumbent; --jobs domains)";
         solve = exact_bb_par;
       };
     ]

@@ -1,0 +1,183 @@
+type plan = {
+  features : Features.t;
+  bucket : string;
+  chain : Solver.t list;
+  weights : float list;
+}
+
+type outcome = { bucket : string; solver : string; won : bool; ms : float }
+
+let c_plans = Dsp_util.Instr.counter Dsp_util.Instr.Sites.tuner_plans
+let c_feedback = Dsp_util.Instr.counter Dsp_util.Instr.Sites.tuner_feedback
+
+let default_feedback_path () = Sys.getenv_opt "DSP_TUNER_FEEDBACK"
+
+(* Prior chains per bucket, seeded from the checked-in bench history
+   (bench/results/baseline-*.json and the solvers/parallel experiment
+   write-ups in EXPERIMENTS.md):
+
+   - tiny instances: exact-bb explores the whole tree in well under a
+     stage slice, so it gets nearly the full deadline;
+   - small/tight: the area bound leaves no slack, so greedy rarely
+     proves optimality and exact search (parallel, stealing keeps the
+     domains busy on the skewed trees tight instances tend to have)
+     deserves the long slice, approx54 as the rigorous fallback;
+   - small/loose: greedy upper bounds are near-optimal and serial
+     exact search usually closes the gap fast;
+   - mid: exact search only pays off when a few dominant items make
+     the root heavy (spiky) — otherwise approx54 leads;
+   - large: exact search is hopeless, the (5/4+eps) and (5/3)
+     algorithms split the deadline.
+
+   Every chain ends in bfd-height: Runner's safety net never expires,
+   and giving it an explicit (small) slice keeps the weight list in
+   one-to-one correspondence with the chain. *)
+let priors ~size ~slack ~shape =
+  match (size, slack, shape) with
+  | "tiny", _, _ -> [ ("exact-bb", 0.85); ("bfd-height", 0.15) ]
+  | "small", "tight", _ ->
+      [ ("exact-bb-par", 0.6); ("approx54", 0.3); ("bfd-height", 0.1) ]
+  | "small", _, _ ->
+      [ ("exact-bb", 0.5); ("approx54", 0.35); ("bfd-height", 0.15) ]
+  | "mid", _, "spiky" ->
+      [ ("exact-bb-par", 0.45); ("approx54", 0.4); ("bfd-height", 0.15) ]
+  | "mid", _, _ ->
+      [ ("approx54", 0.55); ("exact-bb-par", 0.3); ("bfd-height", 0.15) ]
+  | _ -> [ ("approx54", 0.6); ("approx53", 0.25); ("bfd-height", 0.15) ]
+
+let parse_line line =
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [ bucket; solver; won; ms ] -> (
+      match (bool_of_string_opt won, float_of_string_opt ms) with
+      | Some won, Some ms -> Some { bucket; solver; won; ms }
+      | _ -> None)
+  | _ -> None
+
+let load_feedback path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (match parse_line line with Some o -> o :: acc | None -> acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  end
+
+(* Observed win rate (with a +1 pseudo-count so one lucky win does not
+   dominate) and mean winning time per solver within one bucket. *)
+let scores outcomes =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      let wins, runs, win_ms =
+        Option.value (Hashtbl.find_opt tbl o.solver) ~default:(0, 0, 0.)
+      in
+      Hashtbl.replace tbl o.solver
+        ( (wins + if o.won then 1 else 0),
+          runs + 1,
+          (win_ms +. if o.won then o.ms else 0.) ))
+    outcomes;
+  Hashtbl.fold
+    (fun solver (wins, runs, win_ms) acc ->
+      let rate = float_of_int wins /. float_of_int (runs + 1) in
+      let mean_ms = if wins = 0 then infinity else win_ms /. float_of_int wins in
+      (solver, (rate, mean_ms)) :: acc)
+    tbl []
+
+(* Re-rank the prior chain by observed performance: higher win rate
+   first, faster mean winning time breaking ties, solvers without
+   feedback after the observed ones in prior order.  The prior weights
+   travel with their solver, so re-ranking shifts which stage gets the
+   long slice. *)
+let rerank prior outcomes =
+  if outcomes = [] then prior
+  else begin
+    let sc = scores outcomes in
+    let key name =
+      match List.assoc_opt name sc with
+      | Some (rate, ms) -> (1, rate, -.ms)
+      | None -> (0, 0., 0.)
+    in
+    List.stable_sort
+      (fun (a, _) (b, _) ->
+        let (oa, ra, ta) = key a and (ob, rb, tb) = key b in
+        match compare ob oa with
+        | 0 -> ( match compare rb ra with 0 -> compare tb ta | c -> c)
+        | c -> c)
+      prior
+  end
+
+(* Keep every stage's slice meaningful: floor at 5% then renormalize. *)
+let normalize ws =
+  let ws = List.map (fun w -> Float.max w 0.05) ws in
+  let total = List.fold_left ( +. ) 0. ws in
+  List.map (fun w -> w /. total) ws
+
+let plan ?feedback_path inst =
+  let features = Features.extract inst in
+  let bucket = Features.bucket features in
+  let prior =
+    match String.split_on_char '-' bucket with
+    | [ size; slack; shape ] -> priors ~size ~slack ~shape
+    | _ -> priors ~size:"large" ~slack:"loose" ~shape:"flat"
+  in
+  let path =
+    match feedback_path with Some p -> Some p | None -> default_feedback_path ()
+  in
+  let outcomes =
+    match path with
+    | Some p ->
+        List.filter (fun o -> o.bucket = bucket) (load_feedback p)
+    | None -> []
+  in
+  let ranked =
+    (* Only keep stages whose solver is actually registered: the prior
+       table names the built-ins, but a stripped-down embedder may
+       register fewer. *)
+    List.filter (fun (name, _) -> Registry.find name <> None)
+      (rerank prior outcomes)
+  in
+  let ranked =
+    if ranked = [] then [ ("bfd-height", 1.0) ] else ranked
+  in
+  Dsp_util.Instr.bump c_plans;
+  {
+    features;
+    bucket;
+    chain = List.map (fun (name, _) -> Registry.find_exn name) ranked;
+    weights = normalize (List.map snd ranked);
+  }
+
+let record_outcome ?feedback_path o =
+  let path =
+    match feedback_path with Some p -> Some p | None -> default_feedback_path ()
+  in
+  match path with
+  | None -> ()
+  | Some path ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          Printf.fprintf oc "%s %s %b %.3f\n" o.bucket o.solver o.won o.ms);
+      Dsp_util.Instr.bump c_feedback
+
+let pp_plan fmt p =
+  Format.fprintf fmt "@[<v>%a@,@," Features.pp p.features;
+  Format.fprintf fmt "chain (deadline share per stage):@,";
+  List.iter2
+    (fun (s : Solver.t) w ->
+      Format.fprintf fmt "  %-14s %4.0f%%  %s@," s.Solver.name (100. *. w)
+        s.Solver.doc)
+    p.chain p.weights;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,59 @@
+(** Portfolio autotuner: instance features to solver chain and budget
+    split.
+
+    {!Runner.solve} slices the deadline equally between the stages of
+    its fallback chain and {!Runner.race} races a fixed default chain.
+    The tuner replaces both policies with a feature-driven one: extract
+    {!Features} from the instance, map its {!Features.bucket} through a
+    prior table seeded from the checked-in bench history
+    ([bench/results/], see EXPERIMENTS.md), and optionally sharpen the
+    priors with recorded outcomes of earlier tuned solves.
+
+    The feedback store is a plain append-only text file (one outcome
+    per line: [bucket solver won ms]); its path comes from the
+    [DSP_TUNER_FEEDBACK] environment variable or an explicit argument.
+    No file, no problem — the priors alone drive the plan.  Malformed
+    lines are skipped, so a torn append cannot poison the store. *)
+
+open Dsp_core
+
+type plan = {
+  features : Features.t;
+  bucket : string;  (** {!Features.bucket} of [features] *)
+  chain : Solver.t list;
+      (** stages in attempt order, always ending in a polynomial
+          safety solver *)
+  weights : float list;
+      (** one weight per stage, positive, summing to 1: stage [i] of a
+          sequential solve gets fraction [w_i] of the remaining
+          deadline (see {!Runner.solve}'s [weights]) *)
+}
+
+type outcome = {
+  bucket : string;
+  solver : string;
+  won : bool;  (** did this solver produce the winning report? *)
+  ms : float;  (** wall-clock the solver used *)
+}
+
+val default_feedback_path : unit -> string option
+(** [Sys.getenv_opt "DSP_TUNER_FEEDBACK"]. *)
+
+val plan : ?feedback_path:string -> Instance.t -> plan
+(** Compute the tuned plan for an instance.  [feedback_path] overrides
+    the environment variable; a missing or unreadable file falls back
+    to the priors.  Recorded outcomes for the instance's bucket
+    re-rank the prior chain by observed win rate (ties broken by mean
+    winning time) — solvers never seen in feedback keep their prior
+    rank below the observed ones.  Bumps the ["tuner.plans"]
+    counter. *)
+
+val record_outcome : ?feedback_path:string -> outcome -> unit
+(** Append one outcome to the feedback file (creating it if needed);
+    a no-op when no path is configured.  Bumps ["tuner.feedback"]. *)
+
+val load_feedback : string -> outcome list
+(** Parse a feedback file, skipping malformed lines; [[]] when the
+    file does not exist. *)
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -39,28 +39,59 @@ val solve :
 val optimal_height :
   ?node_limit:int -> ?budget:Dsp_util.Budget.t -> Instance.t -> int option
 
+type par_stats = {
+  domains : int;  (** worker domains used (0 on trivial early returns) *)
+  nodes_per_domain : int array;
+      (** search nodes each worker expanded; their spread is the
+          load-balance signal *)
+  steals : int;  (** successful FIFO steals across all workers *)
+  steal_fails : int;  (** steal attempts on empty/contended victims *)
+  units : int;  (** frontier units executed (popped or stolen) *)
+}
+(** Scheduler telemetry of one {!solve_par} call, valid after it
+    returns (the per-domain tallies are written without
+    synchronization and only read once the workers are joined). *)
+
 val solve_par :
+  ?node_limit:int ->
+  ?budget:Dsp_util.Budget.t ->
+  ?jobs:int ->
+  ?pool:Dsp_util.Pool.t ->
+  ?stats:par_stats option ref ->
+  Instance.t ->
+  Packing.t option
+(** Parallel exact search: the same move generator and symmetry
+    reductions as {!solve}, but incumbent-driven — the greedy packing
+    seeds a shared atomic bound and every worker prunes against the
+    global best, re-read at each node.  Work is balanced by stealing:
+    each of the [jobs] domains (default {!Dsp_util.Pool.default_jobs};
+    an existing [pool] can be supplied instead and overrides [jobs])
+    owns a {!Dsp_util.Wsdeque} of search-frontier units seeded from
+    the first item's start columns, pops its own units LIFO, pushes
+    shallow children back as stealable units, and when idle steals the
+    shallowest (largest) unit FIFO from a random victim.  Returns the
+    optimal packing, or [None] when the *shared* node cap
+    ([node_limit], counted across all workers) is exhausted.  The
+    caller's [budget] supplies the wall-clock deadline and the
+    cooperative cancel flag; its node cap is ignored in favour of
+    [node_limit].  Deterministic in its result (the optimum is the
+    optimum from any search order) but not in its node count.  When
+    [stats] is given it is filled with this solve's {!par_stats}.
+    @raise Dsp_util.Budget.Expired when the budget runs out or is
+    cancelled mid-search. *)
+
+val solve_par_dealt :
   ?node_limit:int ->
   ?budget:Dsp_util.Budget.t ->
   ?jobs:int ->
   ?pool:Dsp_util.Pool.t ->
   Instance.t ->
   Packing.t option
-(** Parallel exact search: the same move generator and symmetry
-    reductions as {!solve}, but incumbent-driven — the greedy packing
-    seeds a shared atomic bound, the first item's start columns (the
-    root of the search tree) are dealt round-robin across [jobs]
-    domains (default {!Dsp_util.Pool.default_jobs}; an existing [pool]
-    can be supplied instead and overrides [jobs]), and every worker
-    prunes against the global best, re-read at each node.  Returns the
-    optimal packing, or [None] when the *shared* node cap
-    ([node_limit], counted across all workers) is exhausted.  The
-    caller's [budget] supplies the wall-clock deadline and the
-    cooperative cancel flag; its node cap is ignored in favour of
-    [node_limit].  Deterministic in its result (the optimum is the
-    optimum from any search order) but not in its node count.
-    @raise Dsp_util.Budget.Expired when the budget runs out or is
-    cancelled mid-search. *)
+(** The pre-stealing parallel scheduler: root start columns dealt
+    round-robin across the workers once, with no re-balancing.  Same
+    contract as {!solve_par}.  Kept as the ablation baseline for the
+    parallel bench experiment and the load-imbalance regression test;
+    prefer {!solve_par}. *)
 
 val optimal_height_par :
   ?node_limit:int ->

@@ -38,6 +38,18 @@ module Sites = struct
   let sp_bb_nodes = "sp_bb.nodes"
   let three_partition_nodes = "three_partition.nodes"
 
+  (* Work-stealing scheduler of the parallel B&B (lib/exact/dsp_bb.ml):
+     successful steals and failed steal attempts (empty or contended
+     victims).  Their ratio is the load-balance signal the parallel
+     bench experiment records. *)
+  let bb_steals = "bb.steals"
+  let bb_steal_fails = "bb.steal_fails"
+
+  (* Portfolio autotuner (lib/engine/tuner.ml): plans computed from
+     instance features, and outcomes appended to the feedback file. *)
+  let tuner_plans = "tuner.plans"
+  let tuner_feedback = "tuner.feedback"
+
   (* Tableau pivots, both simplex phases (lib/lp/simplex.ml). *)
   let simplex_pivots = "simplex.pivots"
 
@@ -78,8 +90,12 @@ module Sites = struct
       budget_fit_first_fit_probes;
       budget_fit_best_fit_probes;
       bb_nodes;
+      bb_steals;
+      bb_steal_fails;
       sp_bb_nodes;
       three_partition_nodes;
+      tuner_plans;
+      tuner_feedback;
       simplex_pivots;
       approx54_guesses;
       approx54_attempts;

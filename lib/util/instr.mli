@@ -44,8 +44,12 @@ module Sites : sig
   val budget_fit_first_fit_probes : string
   val budget_fit_best_fit_probes : string
   val bb_nodes : string
+  val bb_steals : string
+  val bb_steal_fails : string
   val sp_bb_nodes : string
   val three_partition_nodes : string
+  val tuner_plans : string
+  val tuner_feedback : string
   val simplex_pivots : string
   val approx54_guesses : string
   val approx54_attempts : string

@@ -1,0 +1,102 @@
+(* Bounded Chase–Lev deque specialised to fixed-width int records on a
+   flat backing array.  The owner works at [bottom] (push/pop, LIFO),
+   thieves at [top] (steal, FIFO).  Indices grow monotonically and are
+   mapped onto the ring with [land mask]; both live in [Atomic.t]s
+   whose sequentially consistent semantics supply every fence the
+   textbook algorithm needs.
+
+   Safety of the bounded ring without ABA tagging: a push writes slot
+   [bottom land mask], and for that physical slot to be one a thief is
+   concurrently reading at index [t], [bottom] must equal [t + cap] —
+   which the occupancy check only permits once [top > t].  [top] never
+   decreases, so that thief's compare-and-set on [top = t] is already
+   doomed and its (possibly torn) read is discarded.  Hence data reads
+   are validated-by-CAS, never trusted raw. *)
+
+type t = {
+  buf : int array;
+  rw : int;  (* ints per record *)
+  mask : int;  (* slots - 1; slots is a power of two *)
+  top : int Atomic.t;  (* next index to steal *)
+  bottom : int Atomic.t;  (* next index to push *)
+}
+
+let create ~slots ~record_width =
+  if slots < 1 then invalid_arg "Wsdeque.create: slots must be >= 1";
+  if record_width < 1 then
+    invalid_arg "Wsdeque.create: record_width must be >= 1";
+  let cap = ref 2 in
+  while !cap < slots do
+    cap := !cap * 2
+  done;
+  {
+    buf = Array.make (!cap * record_width) 0;
+    rw = record_width;
+    mask = !cap - 1;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+let record_width t = t.rw
+
+let size t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  max 0 (b - tp)
+
+let check_buf t buf op =
+  if Array.length buf < t.rw then
+    invalid_arg (Printf.sprintf "Wsdeque.%s: buffer narrower than a record" op)
+
+let push t src =
+  check_buf t src "push";
+  let b = Atomic.get t.bottom in
+  (* A stale [top] only under-reports the free space (top is
+     monotone), so a race can refuse a push that would have fit —
+     never accept one that overwrites live records. *)
+  if b - Atomic.get t.top > t.mask then false
+  else begin
+    Array.blit src 0 t.buf ((b land t.mask) * t.rw) t.rw;
+    (* SC store: the record contents above happen-before any thief
+       that observes the new bottom. *)
+    Atomic.set t.bottom (b + 1);
+    true
+  end
+
+let pop t dst =
+  check_buf t dst "pop";
+  let b = Atomic.get t.bottom - 1 in
+  (* Reserve the slot first, then look at [top]: a thief racing for
+     the same record must now win a CAS against us. *)
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Deque was empty; undo the reservation. *)
+    Atomic.set t.bottom tp;
+    false
+  end
+  else if b > tp then begin
+    (* More than one record: the bottom one is ours uncontended. *)
+    Array.blit t.buf ((b land t.mask) * t.rw) dst 0 t.rw;
+    true
+  end
+  else begin
+    (* Last record: decide against the thieves on [top]. *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    if won then Array.blit t.buf ((b land t.mask) * t.rw) dst 0 t.rw;
+    Atomic.set t.bottom (tp + 1);
+    won
+  end
+
+let steal t dst =
+  check_buf t dst "steal";
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then false
+  else begin
+    (* Read before the CAS: success proves the slot was not recycled
+       while we were reading (see the header note); failure discards
+       whatever we copied. *)
+    Array.blit t.buf ((tp land t.mask) * t.rw) dst 0 t.rw;
+    Atomic.compare_and_set t.top tp (tp + 1)
+  end

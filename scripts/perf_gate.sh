@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI perf-regression gate: the packing kernel and the service daemon.
+# CI perf-regression gate: the packing kernel, the service daemon,
+# and the work-stealing parallel B&B.
 #
 # Runs each CI-sized experiment (best-of-DSP_BENCH_REPS timings, trend
 # archiving disabled so gate probes never pollute bench/results/) and
@@ -18,7 +19,8 @@
 #   DSP_BENCH_REPS=5 DSP_BENCH_RESULTS=none \
 #     BENCH_JSON=bench/results/baseline-kernel-smoke.json \
 #     dune exec bench/main.exe -- kernel-smoke
-# (same shape for serve-smoke and baseline-serve-smoke.json).
+# (same shape for serve-smoke / parallel-smoke and their
+# baseline-<exp>.json files).
 #
 # DSP_GATE_BASELINE overrides the kernel baseline path (the original
 # single-experiment contract); DSP_GATE_EXPERIMENTS overrides the
@@ -26,7 +28,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-experiments="${DSP_GATE_EXPERIMENTS:-kernel-smoke serve-smoke}"
+experiments="${DSP_GATE_EXPERIMENTS:-kernel-smoke serve-smoke parallel-smoke}"
 
 baseline_for() {
   case "$1" in

@@ -62,6 +62,16 @@ let rule_tests =
           (run ~only:[ L.R2 ] [ fx "r2_bad.ml" ]));
     case "R2 accepts Atomic/DLS/Mutex/per-call and the local waiver" (fun () ->
         check "r2_good" [] (run ~only:[ L.R2 ] [ fx "r2_good.ml" ]));
+    case "R2 flags an unguarded hand-rolled stealing deque" (fun () ->
+        check "r2_deque_bad"
+          [
+            ("R2", "r2_deque_bad.ml", 3);
+            ("R2", "r2_deque_bad.ml", 4);
+            ("R2", "r2_deque_bad.ml", 5);
+          ]
+          (run ~only:[ L.R2 ] [ fx "r2_deque_bad.ml" ]));
+    case "R2 accepts the Atomic-indexed deque with a waived ring" (fun () ->
+        check "r2_deque_good" [] (run ~only:[ L.R2 ] [ fx "r2_deque_good.ml" ]));
     case "R3 flags checkpoint-free recursion" (fun () ->
         check "r3_bad"
           [ ("R3", "r3_bad.ml", 3) ]

@@ -12,6 +12,7 @@ module Report = Dsp_engine.Report
 module Rng = Dsp_util.Rng
 module Gen = Dsp_instance.Generators
 module Bb = Dsp_exact.Dsp_bb
+module Wsdeque = Dsp_util.Wsdeque
 
 let find = Registry.find_exn
 
@@ -142,8 +143,200 @@ let instr_tests =
           outcomes);
   ]
 
+(* Records are (id, id * 31 + 7): the payload column catches torn or
+   misaligned copies, the id column feeds the exactly-once ledger. *)
+let payload_of id = (id * 31) + 7
+
+let deque_tests =
+  [
+    Alcotest.test_case "empty deque refuses pop and steal" `Quick (fun () ->
+        let dq = Wsdeque.create ~slots:4 ~record_width:3 in
+        let buf = Array.make 3 0 in
+        Alcotest.(check bool) "pop" false (Wsdeque.pop dq buf);
+        Alcotest.(check bool) "steal" false (Wsdeque.steal dq buf);
+        Alcotest.(check int) "size" 0 (Wsdeque.size dq));
+    Alcotest.test_case "capacity rounds up to a power of two" `Quick (fun () ->
+        Alcotest.(check int) "5 -> 8" 8
+          (Wsdeque.capacity (Wsdeque.create ~slots:5 ~record_width:1));
+        Alcotest.(check int) "1 -> 2" 2
+          (Wsdeque.capacity (Wsdeque.create ~slots:1 ~record_width:1));
+        Alcotest.(check int) "8 stays 8" 8
+          (Wsdeque.capacity (Wsdeque.create ~slots:8 ~record_width:1));
+        Alcotest.(check int) "record width" 4
+          (Wsdeque.record_width (Wsdeque.create ~slots:2 ~record_width:4));
+        let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+        Alcotest.(check bool) "slots < 1 rejected" true
+          (rejects (fun () -> Wsdeque.create ~slots:0 ~record_width:1));
+        Alcotest.(check bool) "record_width < 1 rejected" true
+          (rejects (fun () -> Wsdeque.create ~slots:4 ~record_width:0)));
+    Alcotest.test_case "full deque refuses the push, drains, accepts again"
+      `Quick (fun () ->
+        let dq = Wsdeque.create ~slots:4 ~record_width:1 in
+        for i = 0 to 3 do
+          Alcotest.(check bool) (Printf.sprintf "push %d" i) true
+            (Wsdeque.push dq [| i |])
+        done;
+        Alcotest.(check bool) "5th push refused" false (Wsdeque.push dq [| 4 |]);
+        Alcotest.(check int) "still 4 records" 4 (Wsdeque.size dq);
+        let buf = [| -1 |] in
+        Alcotest.(check bool) "pop" true (Wsdeque.pop dq buf);
+        Alcotest.(check int) "refused record was not written" 3 buf.(0);
+        Alcotest.(check bool) "room again" true (Wsdeque.push dq [| 9 |]));
+    Alcotest.test_case "owner pops LIFO, thieves steal FIFO" `Quick (fun () ->
+        let dq = Wsdeque.create ~slots:8 ~record_width:2 in
+        List.iter
+          (fun id -> assert (Wsdeque.push dq [| id; payload_of id |]))
+          [ 1; 2; 3; 4 ];
+        let buf = [| 0; 0 |] in
+        let take name f expected =
+          Alcotest.(check bool) (name ^ " succeeds") true (f dq buf);
+          Alcotest.(check int) name expected buf.(0);
+          Alcotest.(check int) (name ^ " payload") (payload_of expected) buf.(1)
+        in
+        take "pop newest" Wsdeque.pop 4;
+        take "steal oldest" Wsdeque.steal 1;
+        take "steal next-oldest" Wsdeque.steal 2;
+        take "pop the rest" Wsdeque.pop 3;
+        Alcotest.(check bool) "empty" false (Wsdeque.pop dq buf));
+    Alcotest.test_case "slot reuse far past the capacity (wraparound)" `Quick
+      (fun () ->
+        let dq = Wsdeque.create ~slots:2 ~record_width:2 in
+        let buf = [| 0; 0 |] in
+        (* Single-record cycles walk top/bottom 32x around the ring. *)
+        for i = 0 to 63 do
+          assert (Wsdeque.push dq [| i; payload_of i |]);
+          Alcotest.(check bool) "steal" true (Wsdeque.steal dq buf);
+          Alcotest.(check int) "id round-trips" i buf.(0);
+          Alcotest.(check int) "payload round-trips" (payload_of i) buf.(1)
+        done;
+        (* Two-in, steal-one, pop-one: both ends move every cycle. *)
+        for i = 0 to 49 do
+          let a = 1000 + (2 * i) and b = 1001 + (2 * i) in
+          assert (Wsdeque.push dq [| a; payload_of a |]);
+          assert (Wsdeque.push dq [| b; payload_of b |]);
+          Alcotest.(check bool) "steal" true (Wsdeque.steal dq buf);
+          Alcotest.(check int) "oldest stolen" a buf.(0);
+          Alcotest.(check bool) "pop" true (Wsdeque.pop dq buf);
+          Alcotest.(check int) "newest popped" b buf.(0)
+        done;
+        Alcotest.(check int) "drained" 0 (Wsdeque.size dq));
+    Alcotest.test_case
+      "stress: 3 thieves vs pushing owner, exactly-once accounting" `Quick
+      (fun () ->
+        (* The owner pushes 20k unique records through a 64-slot deque,
+           consuming inline on full-deque refusals and popping every
+           7th round; three thief domains steal concurrently.  Every id
+           must land in exactly one consumer's ledger: a sorted-list
+           equality catches losses, duplicates and phantom records
+           alike, and each consumer validates the payload column before
+           accepting a record (a torn copy fails there first). *)
+        let n = 20_000 in
+        let dq = Wsdeque.create ~slots:64 ~record_width:2 in
+        let finished = Atomic.make false in
+        let consume ~who buf acc =
+          if buf.(1) <> payload_of buf.(0) then
+            Alcotest.failf "%s read a torn record: (%d, %d)" who buf.(0) buf.(1);
+          buf.(0) :: acc
+        in
+        let thief who =
+          Domain.spawn (fun () ->
+              let buf = [| 0; 0 |] in
+              let rec loop acc =
+                if Wsdeque.steal dq buf then loop (consume ~who buf acc)
+                else if Atomic.get finished then acc
+                else begin
+                  Domain.cpu_relax ();
+                  loop acc
+                end
+              in
+              loop [])
+        in
+        let thieves = List.map thief [ "t0"; "t1"; "t2" ] in
+        let buf = [| 0; 0 |] and scratch = [| 0; 0 |] in
+        let mine = ref [] in
+        for id = 0 to n - 1 do
+          buf.(0) <- id;
+          buf.(1) <- payload_of id;
+          if not (Wsdeque.push dq buf) then
+            (* Full: the caller keeps the record — consume it inline,
+               exactly as the B&B worker expands the subtree itself. *)
+            mine := consume ~who:"owner" buf !mine;
+          if id mod 7 = 0 && Wsdeque.pop dq scratch then
+            mine := consume ~who:"owner" scratch !mine
+        done;
+        while Wsdeque.pop dq scratch do
+          mine := consume ~who:"owner" scratch !mine
+        done;
+        Atomic.set finished true;
+        let stolen = List.concat_map Domain.join thieves in
+        Alcotest.(check int)
+          "all three thieves and the owner joined cleanly" 0 (Wsdeque.size dq);
+        let ledger = List.sort compare (!mine @ stolen) in
+        Alcotest.(check (list int))
+          "every record consumed exactly once" (List.init n Fun.id) ledger);
+  ]
+
 let check_opt msg expected actual =
   Alcotest.(check (option int)) msg expected actual
+
+(* One full-width dominant item plus small filler (the bench
+   experiment's skew shape): the dominant item sorts first and admits
+   exactly one start column, so the search root has a single subtree
+   and only stealing can hand work to domains other than 0. *)
+let skewed_instance () =
+  let rng = Rng.create 35 in
+  let width = 24 in
+  let dims =
+    (width, 8)
+    :: List.init 27 (fun _ -> (1 + Rng.int rng (width / 3), 1 + Rng.int rng 10))
+  in
+  Dsp_core.Instance.of_dims ~width dims
+
+let par_height ?stats ~jobs inst =
+  match Bb.solve_par ?stats ~jobs inst with
+  | Some pk -> Some (Dsp_core.Packing.height pk)
+  | None -> None
+
+let skew_tests =
+  [
+    Alcotest.test_case
+      "skew regression: stealing balances a single-subtree root" `Quick
+      (fun () ->
+        let inst = skewed_instance () in
+        let stats = ref None in
+        check_opt "optimum matches serial" (Bb.optimal_height inst)
+          (par_height ~stats ~jobs:4 inst);
+        let st = Option.get !stats in
+        Alcotest.(check int) "4 domains ran" 4 st.Bb.domains;
+        Alcotest.(check bool)
+          (Printf.sprintf "steals happened (%d)" st.Bb.steals)
+          true (st.Bb.steals > 0);
+        let nodes = Array.to_list st.Bb.nodes_per_domain in
+        List.iteri
+          (fun i k ->
+            Alcotest.(check bool)
+              (Printf.sprintf "domain %d expanded nodes (%d)" i k)
+              true (k > 0))
+          nodes;
+        (* The root has one subtree, so without stealing the ratio is
+           infinite (domains 1-3 idle).  With stealing the observed
+           spread is ~1.3-3x; 8x leaves slack for scheduler noise
+           while still failing on any rebalancing regression. *)
+        let worst = List.fold_left max 0 nodes in
+        let best = List.fold_left min max_int nodes in
+        Alcotest.(check bool)
+          (Printf.sprintf "bounded imbalance (worst/best = %d/%d)" worst best)
+          true (worst <= 8 * best));
+    Alcotest.test_case "skew regression: round-robin ablation still agrees"
+      `Quick (fun () ->
+        let inst = skewed_instance () in
+        let dealt =
+          match Bb.solve_par_dealt ~jobs:4 inst with
+          | Some pk -> Some (Dsp_core.Packing.height pk)
+          | None -> None
+        in
+        check_opt "dealt scheduler optimum" (Bb.optimal_height inst) dealt);
+  ]
 
 let solve_par_tests =
   [
@@ -305,4 +498,5 @@ let race_tests =
   ]
 
 let suite =
-  pool_tests @ instr_tests @ solve_par_tests @ race_tests
+  pool_tests @ instr_tests @ deque_tests @ skew_tests @ solve_par_tests
+  @ race_tests

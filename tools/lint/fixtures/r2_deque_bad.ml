@@ -1,0 +1,17 @@
+(* R2 fixture: a hand-rolled work-stealing deque whose shared state is
+   bare toplevel mutables — the owner/thief race R2 exists to catch. *)
+let ring = Array.make 64 0
+let top = ref 0
+let bottom = ref 0
+
+let push v =
+  ring.(!bottom land 63) <- v;
+  incr bottom
+
+let steal () =
+  if !top < !bottom then begin
+    let v = ring.(!top land 63) in
+    incr top;
+    Some v
+  end
+  else None

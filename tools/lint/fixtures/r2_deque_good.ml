@@ -1,0 +1,19 @@
+(* R2 fixture: the deque's safe shape — both indices are Atomics, every
+   payload publication is ordered by an Atomic operation on them, and
+   the CAS-validated ring buffer carries the explicit local waiver. *)
+let top = Atomic.make 0
+let bottom = Atomic.make 0
+let ring = Array.make 64 0 (* lint: local *)
+
+let push v =
+  let b = Atomic.get bottom in
+  ring.(b land 63) <- v;
+  Atomic.set bottom (b + 1)
+
+let steal () =
+  let t = Atomic.get top in
+  if t < Atomic.get bottom then begin
+    let v = ring.(t land 63) in
+    if Atomic.compare_and_set top t (t + 1) then Some v else None
+  end
+  else None

@@ -51,8 +51,9 @@ let rule_summary = function
        through Xutil.checked_* (small-literal index arithmetic is exempt)"
   | R2 ->
       "domain-safety: toplevel mutable state (ref/Hashtbl/Array/...) in a \
-       library reachable from Dsp_bb.solve_par or Runner.race must be \
-       Atomic/Mutex/DLS-wrapped or waived with (* lint: local *)"
+       library reachable from Dsp_bb.solve_par, Wsdeque.steal or \
+       Runner.race must be Atomic/Mutex/DLS-wrapped or waived with (* lint: \
+       local *)"
   | R3 ->
       "budget-totality: recursive functions in lib/exact and lib/lp must \
        reach a Budget.check/poll checkpoint (directly or via a helper)"
@@ -243,8 +244,13 @@ let project_config ~root =
       ];
     r2_dirs =
       (* dsp_serve pulls in the engine cone and adds the service layer,
-         so the daemon's own state is domain-audited too *)
-      reachable_lib_dirs ~root ~roots:[ "dsp_exact"; "dsp_engine"; "dsp_serve" ];
+         so the daemon's own state is domain-audited too.  dsp_util is
+         a root in its own right since the work-stealing scheduler:
+         Wsdeque.steal is a cross-domain entry point, so the audit of
+         lib/util must not hinge on the engine cone keeping a
+         dependency edge to it. *)
+      reachable_lib_dirs ~root
+        ~roots:[ "dsp_exact"; "dsp_engine"; "dsp_serve"; "dsp_util" ];
     r3_dirs = [ "lib/exact"; "lib/lp" ];
     r4_sites_file = Some "lib/util/instr.ml";
     r5_allow = [ "lib/util/pool.ml" ];
