@@ -369,6 +369,9 @@ let journal_push t lo hi value =
   let n = t.jrn_n in
   if n + 3 > Array.length t.jrn then begin
     let cap = Array.length t.jrn in
+    (* amortized journal doubling, only reachable while a checkpoint
+       is outstanding; steady-state range_adds never enter this branch *)
+    (* lint: ok R7 — bounded, amortized, off the steady-state path *)
     let grown = Array.make (if cap = 0 then 96 else 2 * cap) 0 in
     Array.blit t.jrn 0 grown 0 n;
     t.jrn <- grown

@@ -223,6 +223,10 @@ let do_depart t ~id ~session ~arrival =
       | None ->
           err ~id
             (Protocol.Stale_departure
+               (* stale branch: depart_result only builds the error
+                  string here — start_of already returned None, so no
+                  mutation happens and nothing needs logging *)
+               (* lint: ok R8 — error-path probe, not a mutation *)
                (match Session.depart_result entry.sess arrival with
                | Error e -> Session.depart_error_to_string e
                | Ok _ -> assert false))
@@ -280,6 +284,10 @@ let do_close t ~id ~session =
           (* an explicit close ends the durable lifetime too *)
           match Sys.remove p with () -> () | exception Sys_error _ -> ())
         entry.wal;
+      (* explicit close ends the durable lifetime: the WAL file was
+         just deleted above, so there is deliberately nothing left to
+         append to before dropping the in-memory entry *)
+      (* lint: ok R8 — close tears down durability by design *)
       Hashtbl.remove t.sessions session;
       Now
         (Protocol.ok_response ~id

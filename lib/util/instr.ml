@@ -159,6 +159,9 @@ let cells key =
   let a = !box in
   if key < Array.length a then a
   else begin
+    (* one-time growth when a counter key outgrows the slot array;
+       after warm-up every bump takes the `key < length` fast path *)
+    (* lint: ok R7 — warm-up-only growth, not a steady-state alloc *)
     let b = Array.make (max (key + 1) (2 * Array.length a)) 0 in
     Array.blit a 0 b 0 (Array.length a);
     box := b;

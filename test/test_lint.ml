@@ -128,7 +128,7 @@ let plumbing_tests =
               (L.rule_name r) true
               (L.rule_of_string (L.rule_name r) = Some r))
           L.all_rules;
-        Alcotest.(check bool) "junk rejected" true (L.rule_of_string "R9" = None));
+        Alcotest.(check bool) "junk rejected" true (L.rule_of_string "R12" = None));
     case "R2 scope follows the dune graph from the engine roots" (fun () ->
         (* The test binary runs in _build/default/test; the parent holds
            the copied dune files of every library. *)
@@ -141,4 +141,100 @@ let plumbing_tests =
           (List.mem "lib/augment" dirs));
   ]
 
-let suite = rule_tests @ suppression_tests @ plumbing_tests
+(* ----- whole-program rules (R6-R9, parsetree front-end) -------------- *)
+
+module W = Lint_whole
+
+(* Fixture roots: each fixture's entry points stand in for the
+   production Segtree hot paths / Server.handle. *)
+let wcfg =
+  {
+    W.r7_roots =
+      [ "R7_bad.range_add"; "R7_good.range_add"; "Suppress_whole.hot" ];
+    r8_roots = [ "R8_bad.handle"; "R8_good.handle"; "Suppress_whole.handle" ];
+  }
+
+let wrun ?only ?cache_dir paths =
+  let res = W.run_files ?only ?cache_dir ~config:wcfg paths in
+  Alcotest.(check (list string)) "no parse errors" [] res.W.errors;
+  List.map
+    (fun f -> (L.rule_name f.L.rule, Filename.basename f.L.file, f.L.line))
+    res.W.findings
+
+let whole_rule_tests =
+  [
+    case "R6 flags both edges of an ABBA cycle and a re-acquire" (fun () ->
+        check "r6_bad"
+          [
+            ("R6", "r6_bad.ml", 9);
+            ("R6", "r6_bad.ml", 15);
+            ("R6", "r6_bad.ml", 21);
+          ]
+          (wrun ~only:[ L.R6 ] [ fx "r6_bad.ml" ]));
+    case "R6 accepts a consistent order, including under Fun.protect"
+      (fun () -> check "r6_good" [] (wrun ~only:[ L.R6 ] [ fx "r6_good.ml" ]));
+    case "R7 flags a seeded closure and a reachable allocator, not cold code"
+      (fun () ->
+        check "r7_bad"
+          [ ("R7", "r7_bad.ml", 5); ("R7", "r7_bad.ml", 8) ]
+          (wrun ~only:[ L.R7 ] [ fx "r7_bad.ml" ]));
+    case "R7 certifies an in-place hot path with a cold allocator nearby"
+      (fun () -> check "r7_good" [] (wrun ~only:[ L.R7 ] [ fx "r7_good.ml" ]));
+    case "R8 flags mutate-before-append and append-before-validate" (fun () ->
+        check "r8_bad"
+          [ ("R8", "r8_bad.ml", 8); ("R8", "r8_bad.ml", 9) ]
+          (wrun ~only:[ L.R8 ] [ fx "r8_bad.ml" ]));
+    case "R8 accepts validate-append-mutate through a helper" (fun () ->
+        check "r8_good" [] (wrun ~only:[ L.R8 ] [ fx "r8_good.ml" ]));
+    case "R9 flags IO under lock: direct, via helper, via locked closure"
+      (fun () ->
+        check "r9_bad"
+          [
+            ("R9", "r9_bad.ml", 9);
+            ("R9", "r9_bad.ml", 14);
+            ("R9", "r9_bad.ml", 23);
+          ]
+          (wrun ~only:[ L.R9 ] [ fx "r9_bad.ml" ]));
+    case "R9 accepts IO outside the section and Condition.wait" (fun () ->
+        check "r9_good" [] (wrun ~only:[ L.R9 ] [ fx "r9_good.ml" ]));
+    case "line waivers silence R6-R9 findings" (fun () ->
+        check "suppress_whole" []
+          (wrun
+             ~only:[ L.R6; L.R7; L.R8; L.R9 ]
+             [ fx "suppress_whole.ml" ]));
+  ]
+
+let cache_tests =
+  let write path text =
+    let oc = open_out_bin path in
+    output_string oc text;
+    close_out oc
+  in
+  [
+    case "summary cache: warm reruns hit, an edit re-analyzes one unit"
+      (fun () ->
+        let dir = "lint_cache_scratch" in
+        (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+        let cache_dir = Filename.concat dir "cache" in
+        let names = [ "r6_good.ml"; "r9_good.ml" ] in
+        List.iter
+          (fun n -> write (Filename.concat dir n) (L.read_file (fx n)))
+          names;
+        let paths = List.map (Filename.concat dir) names in
+        let counts () =
+          let r = W.run_files ~cache_dir ~config:wcfg paths in
+          Alcotest.(check (list string)) "no parse errors" [] r.W.errors;
+          (r.W.analyzed, r.W.cached)
+        in
+        let pair = Alcotest.(pair int int) in
+        Alcotest.check pair "cold run analyzes both" (2, 0) (counts ());
+        Alcotest.check pair "warm run hits both" (0, 2) (counts ());
+        write
+          (Filename.concat dir "r9_good.ml")
+          (L.read_file (fx "r9_good.ml") ^ "\nlet touched = ()\n");
+        Alcotest.check pair "edit re-analyzes exactly one" (1, 1) (counts ()));
+  ]
+
+let suite =
+  rule_tests @ suppression_tests @ plumbing_tests @ whole_rule_tests
+  @ cache_tests

@@ -1,59 +1,121 @@
 (* dsp_lint: command-line driver for the project invariant checker.
 
-   Usage: dsp_lint [--list-rules] [--only R1[,R3...]] [--root DIR] [PATH...]
+   R1–R5 are per-file parsetree rules over the given paths; R6–R9 are
+   whole-program rules over the compiler's .cmt typedtree artifacts
+   (discovered under <root>/_build/default, or under <root> itself
+   when already inside the build tree), with per-digest summary
+   caching.
 
-   Paths default to lib bin bench under the root.  Exit status: 0 when
-   clean, 1 when findings were reported, 2 on usage/parse errors. *)
+   Exit status: 0 when clean, 1 when findings were reported, 2 on
+   usage/parse errors. *)
 
 let usage () =
   prerr_endline
-    "usage: dsp_lint [--list-rules] [--only R1[,R3...]] [--root DIR] [PATH...]";
-  prerr_endline "  --list-rules   describe the rules and exit";
-  prerr_endline "  --only RULES   run only the given comma-separated rules";
-  prerr_endline "  --root DIR     project root (default .); sets rule scopes";
-  prerr_endline "  PATH...        files or directories to scan (default: lib bin bench)";
+    "usage: dsp_lint [options] [PATH...]";
+  prerr_endline "  --list-rules     describe the rules and exit";
+  prerr_endline
+    "  --only RULES     run only these rules (comma-separated, e.g. R6,R8)";
+  prerr_endline
+    "  --except RULES   run all rules except these (comma-separated)";
+  prerr_endline
+    "  --root DIR       project root (default .); sets rule scopes and the";
+  prerr_endline "                   .cmt search path for R6-R9";
+  prerr_endline
+    "  --format FMT     output format: text (default), json, or sarif";
+  prerr_endline
+    "  --cache-dir DIR  whole-program summary cache (default:";
+  prerr_endline "                   <root>/_build/.lint-cache)";
+  prerr_endline "  --no-cache       disable the summary cache";
+  prerr_endline
+    "  PATH...          files or directories for R1-R5 (default: lib bin \
+     bench)";
   exit 2
 
 let list_rules () =
   List.iter
     (fun r ->
-      Printf.printf "%s  %s\n" (Lint_core.rule_name r) (Lint_core.rule_summary r))
+      Printf.printf "%s  %s\n" (Lint_core.rule_name r)
+        (Lint_core.rule_summary r))
     Lint_core.all_rules;
   print_endline "";
   print_endline "suppressions:";
-  print_endline "  (* lint: ok R<k> *)     waives R<k> on this line and the next";
-  print_endline "  (* lint: local *)       the R2 form, for deliberately local state";
-  print_endline "  [@@@lint.ignore \"R<k>\"]  waives R<k> for the whole file";
+  print_endline
+    "  (* lint: ok R<k> *)     waives R<k> on this line and the next";
+  print_endline
+    "  (* lint: local *)       the R2 form, for deliberately local state";
+  print_endline
+    "  [@@@lint.ignore \"R<k>\"]  waives R<k> for the whole file";
   exit 0
 
-let parse_only spec =
+let parse_rules flag spec =
   let rules =
     String.split_on_char ',' spec |> List.filter_map Lint_core.rule_of_string
   in
   let expected = List.length (String.split_on_char ',' spec) in
   if rules = [] || List.length rules <> expected then begin
-    Printf.eprintf "dsp_lint: bad --only spec %S (rules are R1..R5)\n" spec;
+    Printf.eprintf "dsp_lint: bad %s spec %S (rules are R1..R9)\n" flag spec;
     exit 2
   end;
   rules
 
 let () =
-  let root = ref "." and only = ref None and paths = ref [] in
+  let root = ref "." in
+  let only = ref None in
+  let except = ref [] in
+  let format = ref `Text in
+  let cache = ref `Default in
+  let paths = ref [] in
   let rec parse = function
     | [] -> ()
     | "--list-rules" :: _ -> list_rules ()
     | "--only" :: spec :: rest ->
-        only := Some (parse_only spec);
+        only := Some (parse_rules "--only" spec);
+        parse rest
+    | "--except" :: spec :: rest ->
+        except := parse_rules "--except" spec @ !except;
         parse rest
     | "--root" :: dir :: rest ->
         root := dir;
         parse rest
-    | ("--help" | "-h" | "--only" | "--root") :: _ -> usage ()
+    | "--format" :: fmt :: rest ->
+        (format :=
+           match fmt with
+           | "text" -> `Text
+           | "json" -> `Json
+           | "sarif" -> `Sarif
+           | _ ->
+               Printf.eprintf
+                 "dsp_lint: bad --format %S (text, json or sarif)\n" fmt;
+               exit 2);
+        parse rest
+    | "--cache-dir" :: dir :: rest ->
+        cache := `Dir dir;
+        parse rest
+    | "--no-cache" :: rest ->
+        cache := `Off;
+        parse rest
+    | ("--help" | "-h" | "--only" | "--except" | "--root" | "--format"
+      | "--cache-dir") :: _ ->
+        usage ()
     | p :: rest ->
         paths := p :: !paths;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let selected =
+    let base = match !only with None -> Lint_core.all_rules | Some rs -> rs in
+    List.filter (fun r -> not (List.mem r !except)) base
+  in
+  if selected = [] then begin
+    prerr_endline "dsp_lint: --only/--except selected no rules";
+    exit 2
+  end;
+  let syntactic =
+    List.filter (fun r -> List.mem r Lint_core.syntactic_rules) selected
+  in
+  let whole =
+    List.filter (fun r -> List.mem r Lint_core.whole_program_rules) selected
+  in
   let paths =
     match List.rev !paths with
     | [] ->
@@ -62,23 +124,51 @@ let () =
         |> List.filter Sys.file_exists
     | ps -> ps
   in
-  let cfg = Lint_core.project_config ~root:!root in
-  let result = Lint_core.run ?only:!only cfg paths in
-  List.iter prerr_endline result.Lint_core.errors;
-  List.iter
-    (fun f -> print_endline (Lint_core.finding_to_string f))
-    result.Lint_core.findings;
-  let n = List.length result.Lint_core.findings in
-  if result.Lint_core.errors <> [] then exit 2
+  let syn_result =
+    if syntactic = [] then None
+    else Some (Lint_core.run ~only:syntactic (Lint_core.project_config ~root:!root) paths)
+  in
+  let cache_dir =
+    match !cache with
+    | `Off -> None
+    | `Dir d -> Some d
+    | `Default -> Some (Filename.concat !root "_build/.lint-cache")
+  in
+  let whole_result =
+    if whole = [] then None
+    else Some (Lint_whole.run_project ~only:whole ?cache_dir ~root:!root ())
+  in
+  let findings =
+    (match syn_result with Some r -> r.Lint_core.findings | None -> [])
+    @ (match whole_result with Some r -> r.Lint_whole.findings | None -> [])
+    |> List.sort Lint_core.compare_findings
+  in
+  let errors =
+    (match syn_result with Some r -> r.Lint_core.errors | None -> [])
+    @ match whole_result with Some r -> r.Lint_whole.errors | None -> []
+  in
+  List.iter prerr_endline errors;
+  (match !format with
+  | `Text -> print_string (Lint_report.to_text findings)
+  | `Json -> print_string (Lint_report.to_json ~errors findings)
+  | `Sarif -> print_string (Lint_report.to_sarif findings));
+  (match whole_result with
+  | Some r ->
+      Printf.eprintf
+        "dsp_lint: whole-program: %d units (%d analyzed, %d cached)\n"
+        r.Lint_whole.units r.Lint_whole.analyzed r.Lint_whole.cached
+  | None -> ());
+  let n = List.length findings in
+  let files =
+    match syn_result with Some r -> r.Lint_core.files | None -> 0
+  in
+  if errors <> [] then exit 2
   else if n > 0 then begin
     Printf.eprintf "dsp_lint: %d finding%s in %d files\n" n
       (if n = 1 then "" else "s")
-      result.Lint_core.files;
+      files;
     exit 1
   end
   else
-    Printf.eprintf "dsp_lint: clean (%d files, rules %s)\n"
-      result.Lint_core.files
-      (String.concat ","
-         (List.map Lint_core.rule_name
-            (match !only with None -> Lint_core.all_rules | Some rs -> rs)))
+    Printf.eprintf "dsp_lint: clean (%d files, rules %s)\n" files
+      (String.concat "," (List.map Lint_core.rule_name selected))

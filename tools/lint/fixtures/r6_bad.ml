@@ -1,0 +1,23 @@
+(* R6 fixture: the two flush paths take the mutex pair in opposite
+   orders — the classic ABBA deadlock — and [reacquire] locks a mutex
+   it already holds. *)
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let flush_ab () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let flush_ba () =
+  Mutex.lock b;
+  Mutex.lock a;
+  Mutex.unlock a;
+  Mutex.unlock b
+
+let reacquire () =
+  Mutex.lock a;
+  Mutex.lock a;
+  Mutex.unlock a;
+  Mutex.unlock a

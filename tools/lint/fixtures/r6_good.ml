@@ -1,0 +1,19 @@
+(* R6 fixture: every path takes the pair in the same a-then-b order,
+   including the Fun.protect unlock idiom, so the lock graph is
+   acyclic. *)
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let flush () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let drain () =
+  Mutex.lock a;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock a)
+    (fun () ->
+      Mutex.lock b;
+      Mutex.unlock b)

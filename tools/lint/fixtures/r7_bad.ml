@@ -1,0 +1,13 @@
+(* R7 fixture: the seeded regression — a refactor introduced a closure
+   on the range_add hot path and routed growth through an allocating
+   helper.  The cold allocator at the bottom is unreachable from the
+   root and must stay unflagged. *)
+let grow a = Array.append a a
+
+let range_add t lo hi =
+  let add i = t.(i) <- t.(i) + lo in
+  add lo;
+  add hi;
+  ignore (grow t)
+
+let cold_rebuild () = Array.make 16 0

@@ -1,0 +1,10 @@
+(* R7 fixture: the hot path reads and writes in place through a
+   helper; the allocator exists but only the cold snapshot path
+   reaches it. *)
+let bump stats i = stats.(i) <- stats.(i) + 1
+
+let range_add t lo hi =
+  bump t lo;
+  bump t hi
+
+let snapshot t = Array.copy t

@@ -1,0 +1,10 @@
+(* R8 fixture: the arrive arm mutates session state before anything
+   reached the log, and then appends a record nobody validated. *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let handle wal line =
+  match line with
+  | "arrive" ->
+      Hashtbl.replace table line 1;
+      Wal.append wal line
+  | _ -> ()

@@ -1,0 +1,12 @@
+(* R8 fixture: validate, then log (through a helper — the append must
+   still dominate), then mutate, on every arm. *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let record wal line = Wal.append wal line
+
+let handle wal line =
+  match Protocol.parse_request line with
+  | None -> ()
+  | Some req ->
+      record wal req;
+      Hashtbl.replace table req 1

@@ -1,0 +1,23 @@
+(* R9 fixture: blocking IO while the mutex is held — directly, through
+   a helper, and through the locked-closure idiom. *)
+let m = Mutex.create ()
+
+let persist fd = Unix.fsync fd
+
+let direct fd =
+  Mutex.lock m;
+  Unix.fsync fd;
+  Mutex.unlock m
+
+let indirect fd =
+  Mutex.lock m;
+  persist fd;
+  Mutex.unlock m
+
+let locked f =
+  Mutex.lock m;
+  let r = f () in
+  Mutex.unlock m;
+  r
+
+let via_closure fd = locked (fun () -> Unix.fsync fd)

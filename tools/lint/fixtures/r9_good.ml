@@ -1,0 +1,17 @@
+(* R9 fixture: the IO happens after the critical section, and
+   Condition.wait is exempt — it atomically releases the mutex while
+   parked. *)
+let m = Mutex.create ()
+let cv = Condition.create ()
+
+let persist fd = Unix.fsync fd
+
+let outside fd =
+  Mutex.lock m;
+  Mutex.unlock m;
+  persist fd
+
+let wait_ready () =
+  Mutex.lock m;
+  Condition.wait cv m;
+  Mutex.unlock m

@@ -1,0 +1,36 @@
+(* Whole-program suppression fixture: one real violation per rule
+   R6-R9, each silenced by a line waiver.  A clean run proves the
+   waiver channel reaches the interprocedural rules. *)
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let ab () =
+  Mutex.lock a;
+  (* lint: ok R6 *)
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let ba () =
+  Mutex.lock b;
+  (* lint: ok R6 *)
+  Mutex.lock a;
+  Mutex.unlock a;
+  Mutex.unlock b
+
+let hot t =
+  (* lint: ok R7 *)
+  ignore (Array.make 4 0);
+  t
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let handle line =
+  (* lint: ok R8 *)
+  Hashtbl.replace table line 1
+
+let flush fd =
+  Mutex.lock a;
+  (* lint: ok R9 *)
+  Unix.fsync fd;
+  Mutex.unlock a

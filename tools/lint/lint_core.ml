@@ -25,9 +25,15 @@ module SS = Set.Make (String)
 
 (* ----- rules ---------------------------------------------------------- *)
 
-type rule_id = R1 | R2 | R3 | R4 | R5
+type rule_id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
+
+(* R1–R5 are per-file parsetree rules run by this module; R6–R9 are
+   the whole-program typedtree rules run by [Lint_whole] over the
+   cross-module call graph. *)
+let syntactic_rules = [ R1; R2; R3; R4; R5 ]
+let whole_program_rules = [ R6; R7; R8; R9 ]
 
 let rule_name = function
   | R1 -> "R1"
@@ -35,6 +41,10 @@ let rule_name = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
 
 let rule_of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -43,6 +53,10 @@ let rule_of_string s =
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
+  | "R9" -> Some R9
   | _ -> None
 
 let rule_summary = function
@@ -64,6 +78,22 @@ let rule_summary = function
       "exception-swallowing: bare `try ... with _ ->` is forbidden outside \
        the pool worker absorber; the serve daemon's per-connection absorber \
        is the one waived site"
+  | R6 ->
+      "lock-order: every pair of mutexes must be acquired in one global \
+       order across the whole program; a cycle in the observed lock graph \
+       (or re-acquiring a held mutex) is a potential deadlock"
+  | R7 ->
+      "allocation-freedom: no allocating construct (closure, tuple, \
+       non-constant constructor, record, boxed float, allocating stdlib \
+       call) may be reachable from the flat Segtree hot-path entry points"
+  | R8 ->
+      "write-ahead ordering: on every path through Server.handle, request \
+       validation must dominate Wal.append, and Wal.append must dominate \
+       the session-state mutation it logs"
+  | R9 ->
+      "blocking-under-lock: no Unix fsync/socket IO or Pool.await may run, \
+       even transitively, while a mutex is held (Condition.wait is exempt: \
+       it releases the mutex)"
 
 type finding = {
   rule : rule_id;
@@ -856,12 +886,19 @@ let rec collect_ml_files path acc =
            acc
   | false -> if Filename.check_suffix path ".ml" then path :: acc else acc
 
+(* Total order on findings — (file, line, col), then rule, then the
+   message text — so output is byte-for-byte deterministic across runs
+   and CI diffs stay stable even when one location carries several
+   findings of the same rule. *)
 let compare_findings a b =
   let c = compare a.file b.file in
   if c <> 0 then c
   else
     let c = compare (a.line, a.col) (b.line, b.col) in
-    if c <> 0 then c else compare a.rule b.rule
+    if c <> 0 then c
+    else
+      let c = compare a.rule b.rule in
+      if c <> 0 then c else compare a.msg b.msg
 
 type result = { findings : finding list; errors : string list; files : int }
 

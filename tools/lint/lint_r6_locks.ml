@@ -1,0 +1,128 @@
+(* R6 — lock-order: build the "held while acquiring" graph across the
+   whole program and flag every edge that sits on a cycle (two code
+   paths that take the same pair of mutexes in opposite orders can
+   deadlock), plus the degenerate cycle of re-acquiring a mutex the
+   walker already holds.
+
+   The walk is interprocedural: acquiring inside a callee counts
+   through [Lint_callgraph.transitive_locks], and a closure argument
+   is assumed to run under the locks its callee takes directly (the
+   `locked (fun () -> ...)` idiom).  Branch arms are walked
+   independently and the held set continues as their intersection —
+   unbalanced arms stay conservative instead of poisoning the rest of
+   the function. *)
+
+module Ir = Lint_ir
+module Cg = Lint_callgraph
+module SS = Set.Make (String)
+
+let finding (pos : Ir.pos) msg =
+  {
+    Lint_core.rule = Lint_core.R6;
+    file = pos.Ir.file;
+    line = pos.Ir.line;
+    col = pos.Ir.col;
+    msg;
+  }
+
+let check (cg : Cg.t) =
+  let findings = ref [] in
+  let edges : (string * string, Ir.pos) Hashtbl.t = Hashtbl.create 64 in
+  let add_edge a b pos =
+    if not (Hashtbl.mem edges (a, b)) then Hashtbl.add edges (a, b) pos
+  in
+  let trans_locks = Cg.transitive_locks cg in
+  let direct_locks name =
+    match Cg.find cg name with
+    | Some fn -> Ir.direct_lock_ids fn
+    | None -> []
+  in
+  let rec remove_one id = function
+    | [] -> []
+    | x :: rest -> if x = id then rest else x :: remove_one id rest
+  in
+  let rec walk held evs = List.fold_left step held evs
+  and step held ev =
+    match ev with
+    | Ir.Lock (id, pos) ->
+        if List.mem id held then
+          findings :=
+            finding pos
+              (Printf.sprintf
+                 "mutex `%s` re-acquired while already held on this path — \
+                  OCaml mutexes are not recursive, this self-deadlocks"
+                 id)
+            :: !findings;
+        List.iter (fun h -> if h <> id then add_edge h id pos) held;
+        id :: held
+    | Ir.Unlock (id, _) -> remove_one id held
+    | Ir.Call c ->
+        let resolved = Cg.resolve cg c.Ir.callee in
+        (match resolved with
+        | Some callee when held <> [] ->
+            SS.iter
+              (fun l ->
+                List.iter
+                  (fun h -> if h <> l then add_edge h l c.Ir.cpos)
+                  held)
+              (trans_locks callee)
+        | _ -> ());
+        let under =
+          match resolved with Some callee -> direct_locks callee | None -> []
+        in
+        List.iter
+          (fun body -> ignore (walk (under @ held) body))
+          c.Ir.cargs;
+        held
+    | Ir.Branch arms -> (
+        let results = List.map (walk held) arms in
+        match results with
+        | [] -> held
+        | r0 :: rest ->
+            List.filter (fun id -> List.for_all (List.mem id) rest) r0)
+    | Ir.Closure (body, _) ->
+        ignore (walk held body);
+        held
+    | Ir.Alloc _ -> held
+  in
+  List.iter
+    (fun name ->
+      match Cg.find cg name with
+      | Some fn -> ignore (walk [] fn.Ir.events)
+      | None -> ())
+    cg.Cg.order;
+  (* Cycle detection: an edge a->b is deadlock-prone iff b reaches a. *)
+  let succs = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (a, b) _ ->
+      let prev = Option.value (Hashtbl.find_opt succs a) ~default:SS.empty in
+      Hashtbl.replace succs a (SS.add b prev))
+    edges;
+  let reaches src dst =
+    let seen = ref SS.empty in
+    let rec go n =
+      n = dst
+      || ((not (SS.mem n !seen))
+         && begin
+              seen := SS.add n !seen;
+              SS.exists go
+                (Option.value (Hashtbl.find_opt succs n) ~default:SS.empty)
+            end)
+    in
+    SS.exists go
+      (Option.value (Hashtbl.find_opt succs src) ~default:SS.empty)
+  in
+  Hashtbl.iter
+    (fun (a, b) pos ->
+      if reaches b a then
+        findings :=
+          finding pos
+            (Printf.sprintf
+               "lock-order cycle: mutex `%s` is acquired here while `%s` is \
+                held, but another path acquires them in the reverse order — \
+                potential deadlock; pick one global order or waive with (* \
+                lint: ok R6 *)"
+               b a)
+          :: !findings)
+    edges;
+  !findings

@@ -1,0 +1,131 @@
+(* R8 — write-ahead ordering: on every path through the serve
+   daemon's request handler, (1) some request validation must happen
+   before the write-ahead log is appended to, and (2) the append must
+   happen before the session-state mutation it records.  A mutation a
+   crash cannot replay is a durability hole; an append for a request
+   nobody validated is a poisoned log.
+
+   Checked as a flow property by inlining the handler's resolved
+   callees (cycle-guarded) and interpreting the event stream with a
+   (validated, appended) state: validator calls set the first flag,
+   Wal.append requires the first and sets the second, mutator calls
+   require the second.  Branch arms are independent paths; the state
+   after a branch is the conjunction over arms (both flags are
+   monotone, so this is the meet).  Checks only fire at events in the
+   handler's own source file — helpers from other units are inlined
+   for their state effects (a wal_append wrapper counts as an append)
+   but their internal bookkeeping is not this rule's business. *)
+
+module Ir = Lint_ir
+module Cg = Lint_callgraph
+
+let validators =
+  [
+    [ "Protocol"; "parse_request" ];
+    [ "Protocol"; "parse" ];
+    [ "Hashtbl"; "find_opt" ];
+    [ "Hashtbl"; "mem" ];
+    [ "Hashtbl"; "find" ];
+  ]
+
+(* `wal_append` is the Server helper every mutation path goes
+   through; it deliberately returns `Ok ()` for in-memory sessions
+   (entry.wal = None), so raw `Wal.append` does not dominate the
+   mutations even though the helper does.  Treating the helper as the
+   canonical logged-or-deliberately-in-memory point is the honest
+   reading of the protocol. *)
+let appenders = [ [ "Wal"; "append" ]; [ "wal_append" ] ]
+
+let mutators =
+  [
+    [ "Session"; "arrive" ];
+    [ "Session"; "depart" ];
+    [ "Session"; "depart_result" ];
+    [ "Session"; "apply" ];
+    [ "Hashtbl"; "replace" ];
+    [ "Hashtbl"; "remove" ];
+    [ "Hashtbl"; "add" ];
+  ]
+
+type state = { validated : bool; appended : bool }
+
+let finding (pos : Ir.pos) msg =
+  {
+    Lint_core.rule = Lint_core.R8;
+    file = pos.Ir.file;
+    line = pos.Ir.line;
+    col = pos.Ir.col;
+    msg;
+  }
+
+let check (cg : Cg.t) ~roots =
+  let findings = ref [] in
+  let emit pos msg = findings := finding pos msg :: !findings in
+  let run_root root =
+    match Cg.find cg root with
+    | None -> ()
+    | Some root_fn ->
+        let root_file = root_fn.Ir.fpos.Ir.file in
+        let in_scope (pos : Ir.pos) = pos.Ir.file = root_file in
+        let rec walk stack st evs = List.fold_left (step stack) st evs
+        and walk_cargs stack st cargs =
+          List.fold_left (fun st body -> walk stack st body) st cargs
+        and step stack st ev =
+          match ev with
+          | Ir.Call c ->
+              let name = Ir.join_name c.Ir.callee in
+              if Ir.matches_any mutators c.Ir.callee then begin
+                if in_scope c.Ir.cpos && not st.appended then
+                  emit c.Ir.cpos
+                    (Printf.sprintf
+                       "session-state mutation `%s` is not dominated by a \
+                        Wal.append on this path through %s — a crash here \
+                        loses the update; log before mutating or waive with \
+                        (* lint: ok R8 *)"
+                       name root);
+                walk_cargs stack st c.Ir.cargs
+              end
+              else if Ir.matches_any appenders c.Ir.callee then begin
+                if in_scope c.Ir.cpos && not st.validated then
+                  emit c.Ir.cpos
+                    (Printf.sprintf
+                       "`%s` is not dominated by request validation on this \
+                        path through %s — validate before logging or waive \
+                        with (* lint: ok R8 *)"
+                       name root);
+                { (walk_cargs stack st c.Ir.cargs) with appended = true }
+              end
+              else if Ir.matches_any validators c.Ir.callee then
+                { (walk_cargs stack st c.Ir.cargs) with validated = true }
+              else begin
+                match Cg.resolve cg c.Ir.callee with
+                | Some callee
+                  when (not (List.mem callee stack))
+                       && List.length stack < 64 -> (
+                    match Cg.find cg callee with
+                    | Some fn ->
+                        let st' = walk (callee :: stack) st fn.Ir.events in
+                        walk_cargs stack st' c.Ir.cargs
+                    | None -> walk_cargs stack st c.Ir.cargs)
+                | _ -> walk_cargs stack st c.Ir.cargs
+              end
+          | Ir.Branch arms -> (
+              match List.map (walk stack st) arms with
+              | [] -> st
+              | r :: rest ->
+                  List.fold_left
+                    (fun acc r ->
+                      {
+                        validated = acc.validated && r.validated;
+                        appended = acc.appended && r.appended;
+                      })
+                    r rest)
+          | Ir.Closure (body, _) -> walk stack st body
+          | Ir.Lock _ | Ir.Unlock _ | Ir.Alloc _ -> st
+        in
+        ignore
+          (walk [ root ] { validated = false; appended = false }
+             root_fn.Ir.events)
+  in
+  List.iter run_root roots;
+  !findings
